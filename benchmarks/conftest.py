@@ -1,0 +1,38 @@
+"""Shared benchmark plumbing.
+
+Every bench regenerates one paper figure: it runs the experiment once under
+pytest-benchmark (rounds=1 — these are workload reproductions, not
+microbenchmarks), prints the figure's rows, and asserts the qualitative
+shape the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.configs import DEFAULT, ExperimentConfig
+
+# Benchmark scale: DEFAULT geometry, slightly shorter sequences so the full
+# suite completes in minutes.
+BENCH = ExperimentConfig(
+    image_size=DEFAULT.image_size,
+    samples_per_ray=DEFAULT.samples_per_ray,
+    grid_resolution=DEFAULT.grid_resolution,
+    hash_levels=DEFAULT.hash_levels,
+    hash_finest_resolution=DEFAULT.hash_finest_resolution,
+    hash_table_size=1 << 15,
+    tensorf_resolution=DEFAULT.tensorf_resolution,
+    tensorf_rank=DEFAULT.tensorf_rank,
+    num_frames=12,
+    window=16,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return BENCH
+
+
+def run_once(benchmark, fn):
+    """Execute an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

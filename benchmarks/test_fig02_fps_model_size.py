@@ -1,0 +1,22 @@
+"""Fig. 2: frame rate vs model size across NeRF algorithms.
+
+Paper claim: no algorithm reaches real-time on the mobile GPU, and model
+sizes vary by orders of magnitude (grid largest, factorised smallest).
+"""
+
+from conftest import run_once
+
+from repro.harness import EXPERIMENTS, print_table
+
+
+def test_fig02_fps_vs_model_size(benchmark, bench_config):
+    rows = run_once(benchmark, lambda: EXPERIMENTS["fig02"](bench_config))
+    print_table(rows, title="Fig. 2 — simulated FPS vs model size")
+
+    by_algo = {r["algorithm"]: r for r in rows}
+    # Dense grid has the largest model; factorised tensor the smallest.
+    assert by_algo["directvoxgo"]["model_mb"] > by_algo["instant_ngp"]["model_mb"]
+    assert by_algo["tensorf"]["model_mb"] < by_algo["instant_ngp"]["model_mb"]
+    # Instant-NGP (many levels per sample) is the slowest of the three.
+    assert by_algo["instant_ngp"]["fps"] < by_algo["directvoxgo"]["fps"]
+    assert by_algo["instant_ngp"]["fps"] < by_algo["tensorf"]["fps"]

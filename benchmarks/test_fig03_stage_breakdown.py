@@ -1,0 +1,22 @@
+"""Fig. 3: normalised execution breakdown (I / G / F) on the mobile GPU.
+
+Paper claim: all stages take non-trivial time, with Feature Gathering
+dominating (>56% on average).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.harness import EXPERIMENTS, print_table
+
+
+def test_fig03_stage_breakdown(benchmark, bench_config):
+    rows = run_once(benchmark, lambda: EXPERIMENTS["fig03"](bench_config))
+    print_table(rows, title="Fig. 3 — GPU execution breakdown")
+
+    for row in rows:
+        total = row["indexing"] + row["gathering"] + row["computation"]
+        assert total == 1.0 or abs(total - 1.0) < 1e-9
+        assert row["gathering"] > row["indexing"]
+    mean_gather = np.mean([r["gathering"] for r in rows])
+    assert mean_gather > 0.5, "gathering must dominate execution"

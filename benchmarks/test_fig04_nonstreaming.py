@@ -1,0 +1,30 @@
+"""Fig. 4: fraction of non-streaming DRAM accesses in feature gathering.
+
+Paper claim: pixel-centric gathering is >81% non-streaming on average;
+the fully-streaming dataflow makes grid traffic fully sequential (hashed
+Instant-NGP levels revert, leaving roughly half its traffic non-streaming).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.harness import EXPERIMENTS, print_table
+
+
+def test_fig04_nonstreaming_fraction(benchmark, bench_config):
+    rows = run_once(benchmark, lambda: EXPERIMENTS["fig04"](bench_config))
+    print_table(rows, title="Fig. 4 — non-streaming DRAM access fraction")
+
+    mean_pixel_centric = np.mean([r["pixel_centric_nonstreaming"]
+                                  for r in rows])
+    assert mean_pixel_centric > 0.6, "pixel-centric must be mostly random"
+
+    by_algo = {r["algorithm"]: r for r in rows}
+    # Pure grid/tensor traffic becomes fully streaming.
+    assert by_algo["directvoxgo"]["fully_streaming_nonstreaming"] < 0.01
+    assert by_algo["tensorf"]["fully_streaming_nonstreaming"] < 0.01
+    # Hashed levels revert: Instant-NGP keeps a non-streaming residue.
+    assert by_algo["instant_ngp"]["fully_streaming_nonstreaming"] > 0.1
+    for row in rows:
+        assert (row["fully_streaming_nonstreaming"]
+                < row["pixel_centric_nonstreaming"])

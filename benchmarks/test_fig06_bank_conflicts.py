@@ -1,0 +1,24 @@
+"""Fig. 6: SRAM bank-conflict rate in feature gathering.
+
+Paper claims: feature-major layouts conflict heavily (52% average at 16
+banks/16 rays), more concurrent rays conflict more, and the channel-major
+layout eliminates conflicts entirely.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.harness import EXPERIMENTS, print_table
+
+
+def test_fig06_bank_conflict_rates(benchmark, bench_config):
+    rows = run_once(benchmark, lambda: EXPERIMENTS["fig06"](bench_config))
+    print_table(rows, title="Fig. 6 — bank conflict rate (16 banks)")
+
+    mean16 = np.mean([r["feature_major_16rays"] for r in rows])
+    assert mean16 > 0.25, "feature-major must conflict substantially"
+    for row in rows:
+        # More concurrent rays -> more conflicts (paper: 64-ray escalation).
+        assert row["feature_major_64rays"] >= row["feature_major_16rays"]
+        # Cicero's layout: zero conflicts by construction.
+        assert row["channel_major"] == 0.0

@@ -1,0 +1,19 @@
+"""Fig. 9: naive warping leaves holes; SPARW's sparse NeRF pass fills them.
+
+Paper claim (qualitative figure): the naively warped frame has visible
+disocclusion holes; SPARW eliminates them with a large quality gain.
+"""
+
+from conftest import run_once
+
+from repro.harness import EXPERIMENTS, print_table
+
+
+def test_fig09_hole_filling(benchmark, bench_config):
+    summary = run_once(benchmark, lambda: EXPERIMENTS["fig09"](bench_config))
+    print_table([summary], title="Fig. 9 — disocclusion repair")
+
+    assert summary["hole_pixels_naive"] > 0
+    assert summary["hole_pixels_sparw"] == 0
+    assert summary["psnr_sparw"] > summary["psnr_naive"] + 3.0
+    assert summary["disoccluded_fraction"] < 0.25

@@ -1,0 +1,28 @@
+"""Fig. 18: GPU execution-time distribution under SPARW.
+
+Paper claims: with a window of 6 most time is still full-frame (reference)
+NeRF (~86%); at window 16 sparse NeRF grows to a comparable share; the
+warping operations themselves are negligible.
+"""
+
+from conftest import run_once
+
+from repro.harness import EXPERIMENTS, print_table
+
+
+def test_fig18_time_distribution(benchmark, bench_config):
+    rows = run_once(benchmark, lambda: EXPERIMENTS["fig18"](
+        bench_config, windows=(6, 16)))
+    print_table(rows, title="Fig. 18 — Cicero GPU time distribution")
+
+    by_cfg = {r["config"]: r for r in rows}
+    w6, w16 = by_cfg["cicero_6"], by_cfg["cicero_16"]
+    # Reference rendering dominates at short windows and shrinks with N.
+    assert w6["full_frame_nerf"] > 0.6
+    assert w16["full_frame_nerf"] < w6["full_frame_nerf"]
+    assert w16["sparse_nerf"] > w6["sparse_nerf"]
+    # Warping overhead is negligible (paper: "Others" ~ 0).
+    for row in rows:
+        assert row["others"] < 0.1
+        total = row["full_frame_nerf"] + row["sparse_nerf"] + row["others"]
+        assert abs(total - 1.0) < 1e-6

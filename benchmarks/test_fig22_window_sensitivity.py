@@ -1,0 +1,30 @@
+"""Fig. 22: sensitivity to the warping-window size.
+
+Paper claims: quality decreases monotonically with window size; local
+speed-up grows then saturates as sparse work accumulates; remote speed-up
+grows nearly linearly until the on-device path stops hiding.
+"""
+
+from conftest import run_once
+
+from repro.harness import EXPERIMENTS, print_table
+
+
+def test_fig22_window_sweep(benchmark, bench_config):
+    windows = (1, 4, 8, 12, 16)
+    rows = run_once(benchmark, lambda: EXPERIMENTS["fig22"](
+        bench_config, windows=windows))
+    print_table(rows, title="Fig. 22 — warping-window sensitivity")
+
+    speedups = [r["local_speedup"] for r in rows]
+    psnrs = [r["psnr"] for r in rows]
+    disocc = [r["disoccluded_fraction"] for r in rows]
+
+    # Speed-up strictly benefits from amortising the reference further.
+    assert speedups[-1] > speedups[0] * 3.0
+    # Quality decreases (allow small non-monotonic jitter).
+    assert psnrs[-1] < psnrs[0] + 0.2
+    # Disocclusion work grows with window size: the saturation mechanism.
+    assert disocc[-1] > disocc[0]
+    # Remote speed-up also grows with the window.
+    assert rows[-1]["remote_speedup"] > rows[0]["remote_speedup"]

@@ -1,0 +1,23 @@
+"""Fig. 23: GU energy sensitivity to the VFT buffer size.
+
+Paper claim: energy stays roughly flat from 8 KB to 64 KB, then rises for
+larger buffers (bigger arrays cost more per access).
+"""
+
+from conftest import run_once
+
+from repro.harness import EXPERIMENTS, print_table
+
+
+def test_fig23_vft_energy_sweep(benchmark, bench_config):
+    rows = run_once(benchmark, lambda: EXPERIMENTS["fig23"](
+        bench_config, sizes_kb=(8, 16, 32, 64, 128, 256)))
+    print_table(rows, title="Fig. 23 — GU energy vs VFT size")
+
+    by_kb = {r["vft_kb"]: r["normalized_energy"] for r in rows}
+    # Flat-ish region at small sizes.
+    assert by_kb[8] < 1.1
+    assert abs(by_kb[32] - 1.0) < 1e-9  # normalisation point
+    # Rising beyond 64 KB.
+    assert by_kb[256] > by_kb[64] > by_kb[32] - 1e-9
+    assert by_kb[256] > 1.5

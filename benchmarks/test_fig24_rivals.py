@@ -1,0 +1,23 @@
+"""Fig. 24: Cicero vs NeuRex vs NGPC on Instant-NGP.
+
+Paper claims: Cicero-without-SPARW beats NeuRex ~2x (conflict elimination)
+and roughly matches NGPC (which needs an unrealistic 16 MB buffer); adding
+SPARW multiplies the lead by the window's work reduction.
+"""
+
+from conftest import run_once
+
+from repro.harness import EXPERIMENTS, print_table
+
+
+def test_fig24_rival_accelerators(benchmark, bench_config):
+    rows = run_once(benchmark, lambda: EXPERIMENTS["fig24"](bench_config))
+    print_table(rows, title="Fig. 24 — speed-up over GPU, Instant-NGP")
+
+    by_design = {r["design"]: r["speedup_vs_gpu"] for r in rows}
+    assert by_design["cicero_no_sparw"] > by_design["neurex"]
+    ratio_vs_ngpc = by_design["cicero_no_sparw"] / by_design["ngpc"]
+    assert 0.4 < ratio_vs_ngpc < 2.5, "Cicero-no-SPARW ~ NGPC"
+    assert by_design["cicero"] > 2.0 * by_design["cicero_no_sparw"], (
+        "SPARW must multiply the advantage")
+    assert all(s > 1.0 for s in by_design.values())

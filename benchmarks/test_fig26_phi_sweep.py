@@ -1,0 +1,28 @@
+"""Fig. 26: warping-threshold (phi) sweep on the sparse 1 FPS sequence.
+
+Paper claims: lowering phi re-renders more pixels, recovering quality at
+the cost of speed; a moderate threshold (~4 deg) retains most speed-up
+with a small quality drop.
+"""
+
+from conftest import run_once
+
+from repro.harness import EXPERIMENTS, print_table
+
+
+def test_fig26_threshold_sweep(benchmark, bench_config):
+    phis = (1.0, 4.0, 16.0, None)
+    rows = run_once(benchmark, lambda: EXPERIMENTS["fig26"](
+        bench_config, phis=phis))
+    print_table(rows, title="Fig. 26 — warping threshold phi sweep (1 FPS)")
+
+    # Tighter threshold -> fewer pixels warped, more re-rendered.
+    warped = [r["warped_fraction"] for r in rows]
+    assert warped[0] <= warped[-1] + 1e-9
+    assert warped[0] < warped[2], "phi=1 deg must warp fewer pixels than 16"
+
+    # Tighter threshold -> slower but at least as accurate.
+    speeds = [r["speedup"] for r in rows]
+    assert speeds[0] <= speeds[-1] + 1e-9
+    psnrs = [r["psnr"] for r in rows]
+    assert psnrs[0] >= psnrs[-1] - 0.3, "phi=1 deg must not lose quality"

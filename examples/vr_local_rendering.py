@@ -1,0 +1,62 @@
+"""Local VR rendering: price a head-tracked orbit on the Cicero SoC.
+
+The scenario the paper's intro motivates: a standalone VR headset rendering
+a NeRF scene on-device.  This example renders a smooth head orbit with
+SPARW on all three NeRF algorithms, feeds the measured workloads to the SoC
+model, and prints the per-variant frame rates and energy — the data behind
+Fig. 19a at example scale.
+
+Run:  python examples/vr_local_rendering.py
+"""
+
+from repro.harness import DEFAULT, print_table
+from repro.harness.configs import ExperimentConfig
+from repro.harness.experiments import (
+    full_frame_profile,
+    run_sparw,
+    sparw_workloads_from_result,
+)
+from repro.hw import SoCModel
+
+CONFIG = ExperimentConfig(
+    image_size=80, samples_per_ray=80, grid_resolution=80,
+    hash_levels=DEFAULT.hash_levels,
+    hash_finest_resolution=DEFAULT.hash_finest_resolution,
+    hash_table_size=DEFAULT.hash_table_size,
+    tensorf_resolution=DEFAULT.tensorf_resolution,
+    tensorf_rank=DEFAULT.tensorf_rank,
+    num_frames=12, window=8,
+)
+
+
+def main():
+    soc = SoCModel(feature_dim=CONFIG.feature_dim)
+    rows = []
+    for algorithm in ("directvoxgo", "instant_ngp", "tensorf"):
+        profile = full_frame_profile(algorithm, "lego", CONFIG)
+        result = run_sparw(algorithm, "lego", CONFIG, window=CONFIG.window)
+        workloads = sparw_workloads_from_result(result, profile,
+                                                CONFIG.window)
+
+        baseline = soc.price_nerf(profile.workload, "baseline")
+        row = {"algorithm": algorithm,
+               "baseline_fps": 1.0 / baseline.time_s}
+        for variant in ("sparw", "sparw_fs", "cicero"):
+            cost = soc.price_sparw_local(workloads, variant)
+            row[f"{variant}_fps"] = 1.0 / cost.time_s
+            row[f"{variant}_energy_mj"] = cost.energy_j * 1e3
+        rows.append(row)
+
+    print_table(rows, title=(
+        "Local VR rendering — simulated FPS and per-frame energy\n"
+        f"({CONFIG.image_size}x{CONFIG.image_size} frames, "
+        f"window {CONFIG.window}; see benchmarks/ for the full Fig. 19 run)"))
+
+    best = max(rows, key=lambda r: r["cicero_fps"])
+    print(f"\nfastest configuration: {best['algorithm']} at "
+          f"{best['cicero_fps']:.0f} FPS with the full Cicero SoC "
+          f"(vs {best['baseline_fps']:.1f} FPS baseline)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Comparison baselines: DS-2 downsampling and TEMP-N temporal warping."""
+
+from .ds2 import DS2Renderer, bilinear_upsample
+from .temporal import TemporalWarpRenderer
+
+__all__ = ["DS2Renderer", "bilinear_upsample", "TemporalWarpRenderer"]

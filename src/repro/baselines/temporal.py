@@ -1,0 +1,34 @@
+"""TEMP-N baseline: prior-work temporal warping from rendered frames.
+
+Fig. 16's TEMP-16 comparator: reference frames are *previously rendered
+output frames on the trajectory*, so (a) rendering serialises (Fig. 11a) and
+(b) warping chains output-to-output, accumulating error across the window.
+This is a thin wrapper configuring :class:`SparwRenderer` in its
+``on_trajectory`` mode so both techniques share one implementation.
+"""
+
+from __future__ import annotations
+
+from ..core.sparw.pipeline import SparwRenderer, SparwSequenceResult
+from ..geometry.camera import PinholeCamera
+from ..nerf.renderer import NeRFRenderer
+
+__all__ = ["TemporalWarpRenderer"]
+
+
+class TemporalWarpRenderer:
+    """Chained temporal warping with window-size ``window`` (TEMP-N)."""
+
+    def __init__(self, renderer: NeRFRenderer, camera: PinholeCamera,
+                 window: int = 16,
+                 angle_threshold_deg: float | None = None):
+        self._sparw = SparwRenderer(renderer, camera, window=window,
+                                    policy="on_trajectory",
+                                    angle_threshold_deg=angle_threshold_deg)
+
+    @property
+    def window(self) -> int:
+        return self._sparw.window
+
+    def render_sequence(self, poses: list) -> SparwSequenceResult:
+        return self._sparw.render_sequence(poses)

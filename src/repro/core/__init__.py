@@ -1,0 +1,5 @@
+"""Cicero's contributions: SPARW, fully-streaming rendering, bank interleaving."""
+
+from . import layout, sparw, streaming
+
+__all__ = ["layout", "sparw", "streaming"]

@@ -1,0 +1,208 @@
+"""SPARW rendering pipeline: reference path + warped target path.
+
+Orchestrates the two rendering paths of Fig. 10:
+
+* the compute-intensive path renders *reference frames* with full-frame NeRF
+  at poses chosen by a reference policy (extrapolated/off-trajectory by
+  default), and
+* the lightweight path renders every *target frame* by warping the active
+  reference, classifying holes, and sparse-NeRF-rendering only disoccluded
+  pixels (Eq. 4).
+
+The pipeline records per-frame work statistics (warped/disoccluded/void
+fractions, sparse-ray counts, full-frame render stats) which the hardware
+model turns into latency and energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...geometry.camera import PinholeCamera
+from ...nerf.renderer import NeRFRenderer, RenderStats
+from ...scenes.raytracer import Frame
+from .disocclusion import PixelClassification, classify_pixels, overlap_fraction
+from .reference import ExtrapolatedReferencePolicy, OnTrajectoryReferencePolicy
+from .warp import WarpResult, warp_frame
+
+__all__ = ["TargetFrameRecord", "SparwSequenceResult", "SparwRenderer"]
+
+
+@dataclass
+class TargetFrameRecord:
+    """Everything produced while rendering one target frame."""
+
+    frame_index: int
+    frame: Frame
+    classification: PixelClassification
+    overlap: float
+    new_reference: bool
+    sparse_stats: RenderStats
+    reference_stats: RenderStats | None  # stats of the full render, if any
+    warp_points: int  # points pushed through steps 1-3
+    mean_warp_angle_deg: float
+
+
+@dataclass
+class SparwSequenceResult:
+    """Result of rendering a pose sequence with SPARW."""
+
+    records: list = field(default_factory=list)
+
+    @property
+    def frames(self) -> list:
+        return [r.frame for r in self.records]
+
+    @property
+    def num_frames(self) -> int:
+        return len(self.records)
+
+    @property
+    def num_references(self) -> int:
+        return sum(1 for r in self.records if r.new_reference)
+
+    def mean_warped_fraction(self) -> float:
+        return float(np.mean([r.classification.warped_fraction
+                              for r in self.records]))
+
+    def mean_disoccluded_fraction(self) -> float:
+        return float(np.mean([r.classification.disoccluded_fraction
+                              for r in self.records]))
+
+    def total_sparse_stats(self) -> RenderStats:
+        total = RenderStats()
+        for r in self.records:
+            total = total.merge(r.sparse_stats)
+        return total
+
+    def total_reference_stats(self) -> RenderStats:
+        total = RenderStats()
+        for r in self.records:
+            if r.reference_stats is not None:
+                total = total.merge(r.reference_stats)
+        return total
+
+
+class SparwRenderer:
+    """Renders pose sequences with sparse radiance warping.
+
+    Parameters
+    ----------
+    renderer:
+        The full-frame/sparse NeRF renderer (any field).
+    camera:
+        Camera template; its intrinsics are used for every frame.
+    window:
+        Number of target frames sharing one reference (the paper's N).
+    policy:
+        ``"extrapolated"`` (paper, off-trajectory, overlappable) or
+        ``"on_trajectory"`` (TEMP baseline: chained warping from the
+        previous output frame, resetting every window).
+    angle_threshold_deg:
+        Optional warping threshold phi (Sec. III-C); pixels warped across a
+        wider angle are re-rendered by the NeRF model.
+    """
+
+    def __init__(self, renderer: NeRFRenderer, camera: PinholeCamera,
+                 window: int = 16, policy: str = "extrapolated",
+                 angle_threshold_deg: float | None = None):
+        self.renderer = renderer
+        self.camera = camera
+        self.window = int(window)
+        self.angle_threshold_deg = angle_threshold_deg
+        if policy == "extrapolated":
+            self.policy = ExtrapolatedReferencePolicy(window)
+        elif policy == "on_trajectory":
+            self.policy = OnTrajectoryReferencePolicy(window)
+        else:
+            raise ValueError(f"unknown reference policy {policy!r}")
+        self._chained = policy == "on_trajectory"
+
+    # -- reference path ----------------------------------------------------------
+
+    def render_reference(self, pose: np.ndarray) -> tuple[Frame, RenderStats]:
+        """Full-frame NeRF render at ``pose`` (the green path in Fig. 10)."""
+        camera = self.camera.with_pose(pose)
+        frame, out = self.renderer.render_frame(camera)
+        return frame, out.stats
+
+    # -- target path ------------------------------------------------------------
+
+    def render_target(self, reference: Frame, pose: np.ndarray
+                      ) -> tuple[Frame, WarpResult, PixelClassification,
+                                 RenderStats]:
+        """Warp ``reference`` to ``pose`` and fill disocclusions sparsely."""
+        ref_camera = self.camera.with_pose(reference.c2w)
+        target_camera = self.camera.with_pose(pose)
+        warp = warp_frame(reference, ref_camera, target_camera)
+        classification = classify_pixels(warp, self.angle_threshold_deg)
+
+        image = warp.image.copy()
+        depth = warp.depth.copy()
+        hit = classification.warped.copy()
+
+        pixel_ids = classification.rerender_pixel_ids()
+        colors, z, out = self.renderer.render_pixels(target_camera, pixel_ids)
+        if pixel_ids.size:
+            flat_img = image.reshape(-1, 3)
+            flat_img[pixel_ids] = colors
+            flat_depth = depth.reshape(-1)
+            flat_depth[pixel_ids] = z
+            hit.reshape(-1)[pixel_ids] = np.isfinite(z)
+
+        if self.renderer.background is not None:
+            void = classification.void & ~classification.disoccluded
+            if void.any():
+                _, dirs = target_camera.generate_rays()
+                bg = self.renderer.background(dirs.reshape(-1, 3))
+                image.reshape(-1, 3)[void.reshape(-1)] = bg[void.reshape(-1)]
+
+        frame = Frame(image=image, depth=depth, hit=hit,
+                      c2w=target_camera.c2w.copy())
+        return frame, warp, classification, out.stats
+
+    # -- sequence rendering --------------------------------------------------------
+
+    def render_sequence(self, poses: list) -> SparwSequenceResult:
+        """Render every pose in order, managing references per the policy."""
+        poses = [np.asarray(p, dtype=float) for p in poses]
+        result = SparwSequenceResult()
+        reference: Frame | None = None
+        previous_output: Frame | None = None
+
+        for i, pose in enumerate(poses):
+            ref_stats = None
+            new_ref = self.policy.needs_new_reference(i)
+            if new_ref or reference is None:
+                if self._chained and previous_output is not None:
+                    # TEMP baseline: reuse the last *output* frame; no fresh
+                    # full render (errors accumulate across windows too).
+                    reference = previous_output
+                else:
+                    ref_pose = self.policy.reference_pose(i, poses)
+                    reference, ref_stats = self.render_reference(ref_pose)
+
+            frame, warp, classification, sparse_stats = self.render_target(
+                reference, pose)
+            if self._chained:
+                # Chained warping: the next frame warps from this output.
+                reference = frame
+            previous_output = frame
+
+            covered = classification.warped
+            mean_angle = (float(warp.warp_angle_deg[covered].mean())
+                          if covered.any() else 0.0)
+            result.records.append(TargetFrameRecord(
+                frame_index=i,
+                frame=frame,
+                classification=classification,
+                overlap=overlap_fraction(warp),
+                new_reference=ref_stats is not None,
+                sparse_stats=sparse_stats,
+                reference_stats=ref_stats,
+                warp_points=reference.depth.size,
+                mean_warp_angle_deg=mean_angle,
+            ))
+        return result

@@ -1,0 +1,157 @@
+"""Forward warping of a reference frame into a target view (SPARW steps 1-3).
+
+Implements the three lightweight stages of target-frame rendering from
+Sec. III-B of the paper:
+
+1. *Point-cloud conversion* (Eq. 1): lift the reference frame's pixels into
+   3-D using its depth map.
+2. *Transformation* (Eq. 2): re-express the cloud in the target camera frame.
+3. *Re-projection* (Eq. 3): z-buffer splat onto the target image plane.
+
+Void pixels (infinite depth — sky/background) are splatted at a far plane so
+the disocclusion classifier can distinguish "nothing there" from "something
+was hidden" (the paper's depth test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...geometry.camera import PinholeCamera
+from ...geometry.pointcloud import depth_to_points, transform_points
+from ...geometry.projection import splat_points
+from ...geometry.transforms import relative_pose
+from ...scenes.raytracer import Frame
+
+__all__ = ["WarpResult", "warp_frame", "VOID_FAR_DEPTH"]
+
+# Depth assigned to void (infinite-depth) reference pixels so they still
+# project; anything this far is classified as void in the target frame.
+VOID_FAR_DEPTH = 1.0e4
+
+
+@dataclass
+class WarpResult:
+    """A naively warped target frame F'_tgt plus classification inputs.
+
+    ``covered`` marks pixels that received a *surface* point; ``void`` marks
+    pixels whose nearest splat came from the reference frame's background
+    (infinite depth).  Remaining pixels are holes — candidate disocclusions.
+    ``warp_angle_deg`` holds, for covered pixels, the angle theta subtended
+    at the scene point by the reference and target camera centres (Fig. 8),
+    used by the warping threshold heuristic.
+    """
+
+    image: np.ndarray  # (H, W, 3)
+    depth: np.ndarray  # (H, W), +inf where not covered by a surface point
+    covered: np.ndarray  # (H, W) bool, surface-covered
+    void: np.ndarray  # (H, W) bool, far-plane-covered
+    warp_angle_deg: np.ndarray  # (H, W), 0 where not covered
+
+    @property
+    def hole_mask(self) -> np.ndarray:
+        """Pixels neither surface-covered nor void: disocclusion candidates."""
+        return ~(self.covered | self.void)
+
+
+def _fill_pinholes(image: np.ndarray, depth: np.ndarray, covered: np.ndarray,
+                   angle: np.ndarray, min_neighbors: int = 5) -> None:
+    """Fill isolated 1-pixel splat gaps from their covered neighbours.
+
+    Forward point splatting leaves single-pixel "pinholes" wherever the view
+    expands (one source pixel maps to slightly more than one target pixel).
+    Real point renderers close these with a small splat kernel; we fill any
+    hole with >= ``min_neighbors`` covered 8-neighbours using the neighbour
+    mean, in place.  Genuine disocclusion bands are wider than one pixel and
+    survive untouched.
+    """
+    height, width = depth.shape
+    pad_cov = np.pad(covered, 1)
+    pad_img = np.pad(image, ((1, 1), (1, 1), (0, 0)))
+    pad_depth = np.pad(np.where(covered, depth, 0.0), 1)
+
+    neighbor_count = np.zeros((height, width), dtype=np.int64)
+    color_sum = np.zeros_like(image)
+    depth_sum = np.zeros_like(depth)
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            if dy == 0 and dx == 0:
+                continue
+            cov = pad_cov[1 + dy:1 + dy + height, 1 + dx:1 + dx + width]
+            neighbor_count += cov
+            color_sum += np.where(
+                cov[..., None],
+                pad_img[1 + dy:1 + dy + height, 1 + dx:1 + dx + width], 0.0)
+            depth_sum += np.where(
+                cov, pad_depth[1 + dy:1 + dy + height, 1 + dx:1 + dx + width],
+                0.0)
+
+    fill = ~covered & (neighbor_count >= min_neighbors)
+    if fill.any():
+        counts = neighbor_count[fill][:, None]
+        image[fill] = color_sum[fill] / counts
+        depth[fill] = depth_sum[fill] / counts[:, 0]
+        covered[fill] = True
+        angle[fill] = 0.0
+
+
+def warp_frame(reference: Frame, ref_camera: PinholeCamera,
+               target_camera: PinholeCamera,
+               fill_pinholes: bool = True) -> WarpResult:
+    """Warp ``reference`` (rendered at ``ref_camera``) into ``target_camera``.
+
+    Both cameras must share intrinsics resolution-wise with the frames they
+    produced.  Returns the naive warp F'_tgt; hole filling is the sparse
+    NeRF pass handled by the SPARW pipeline.  ``fill_pinholes`` closes
+    single-pixel splatting gaps (not true disocclusions) in the warped image.
+    """
+    intr = ref_camera.intrinsics
+    if reference.depth.shape != (intr.height, intr.width):
+        raise ValueError("reference frame and camera resolution mismatch")
+
+    depth = reference.depth
+    is_void = ~np.isfinite(depth)
+    # Step 1: lift pixels to the reference camera frame; void pixels go to a
+    # far plane so that they still carry "this direction is empty" info.
+    lift_depth = np.where(is_void, VOID_FAR_DEPTH, depth)
+    points_ref = depth_to_points(lift_depth, intr)
+    colors = reference.image.reshape(-1, 3)
+
+    # Step 2: reference-camera -> target-camera coordinates.
+    t_ref_to_tgt = relative_pose(reference.c2w, target_camera.c2w)
+    points_tgt = transform_points(points_ref, t_ref_to_tgt)
+
+    # Step 3: z-buffer splat in the target view.
+    splat = splat_points(points_tgt, colors, target_camera.intrinsics)
+
+    flat_void = is_void.reshape(-1)
+    src = splat.source_index
+    has_point = src >= 0
+    src_safe = np.where(has_point, src, 0)
+    from_void = has_point & flat_void[src_safe]
+    covered = has_point & ~from_void
+
+    # Warp angle theta per covered pixel: angle at the scene point between
+    # the two camera centres.
+    angle = np.zeros_like(splat.depth)
+    if covered.any():
+        pts_world = transform_points(points_ref[src_safe[covered]],
+                                     reference.c2w)
+        to_ref = reference.c2w[:3, 3] - pts_world
+        to_tgt = target_camera.position - pts_world
+        nr = np.linalg.norm(to_ref, axis=-1)
+        nt = np.linalg.norm(to_tgt, axis=-1)
+        denom = np.where(nr * nt < 1e-12, 1.0, nr * nt)
+        cos = np.clip((to_ref * to_tgt).sum(axis=-1) / denom, -1.0, 1.0)
+        angle[covered] = np.degrees(np.arccos(cos))
+
+    depth_out = np.where(covered, splat.depth, np.inf)
+    image_out = np.where(covered[..., None], splat.image, 0.0)
+    if fill_pinholes:
+        covered = covered.copy()
+        _fill_pinholes(image_out, depth_out, covered, angle)
+        depth_out = np.where(covered, depth_out, np.inf)
+    return WarpResult(image=image_out, depth=depth_out, covered=covered,
+                      void=from_void & ~covered, warp_angle_deg=angle)

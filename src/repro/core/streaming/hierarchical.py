@@ -1,0 +1,61 @@
+"""Hierarchical-encoding support: per-level streaming with reversion.
+
+Sec. IV-A of the paper: hierarchical data structures (multi-resolution hash
+grids, factorized tensors) are streamed level-by-level for a ray group.
+Levels whose data cannot be spatially tiled — hashed levels, where vertices
+of one spatial region scatter across the table — *revert* to the original
+pixel-centric dataflow.  In Instant-NGP this happens from roughly the middle
+of the pyramid onward, leaving about half of the traffic non-streaming.
+
+The gather groups already carry a ``streamable`` flag set by each field; this
+module provides the policy helpers and the execution-order utility used to
+prove functional equivalence of the reordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .mvoxel import MVoxelLayout
+from .rit import RayIndexTable
+
+__all__ = ["split_by_reversion", "streaming_execution_order",
+           "reverted_traffic_fraction"]
+
+
+def split_by_reversion(groups: list) -> tuple[list, list]:
+    """Partition gather groups into (streamable, reverted) lists."""
+    streamable = [g for g in groups if g.streamable]
+    reverted = [g for g in groups if not g.streamable]
+    return streamable, reverted
+
+
+def reverted_traffic_fraction(groups: list) -> float:
+    """Fraction of gather traffic that stays pixel-centric (by bytes)."""
+    total = 0
+    reverted = 0
+    for g in groups:
+        traffic = g.num_samples * g.vertices_per_sample * g.entry_bytes
+        total += traffic
+        if not g.streamable:
+            reverted += traffic
+    return 0.0 if total == 0 else reverted / total
+
+
+def streaming_execution_order(group, buffer_bytes: int = 32 * 1024
+                              ) -> np.ndarray:
+    """Memory-centric sample permutation for one streamable group.
+
+    Returns sample indices ordered by ascending MVoxel — the order in which
+    the Gathering Unit would actually process them.  Samples outside the
+    grid are appended at the end (they gather nothing).  Used by tests to
+    verify that reordering never changes rendered results.
+    """
+    layout = MVoxelLayout(grid_shape=group.grid_shape,
+                          entry_bytes=group.entry_bytes,
+                          buffer_bytes=buffer_bytes)
+    sample_mvoxels = layout.mvoxel_of_cells(group.cell_ids)
+    rit = RayIndexTable.build(sample_mvoxels)
+    scheduled = rit.streaming_sample_order()
+    outside = np.nonzero(np.asarray(group.cell_ids) < 0)[0]
+    return np.concatenate([scheduled, outside])

@@ -1,0 +1,53 @@
+"""Geometry substrate: cameras, poses, rays, point clouds, projection."""
+
+from .camera import Intrinsics, PinholeCamera
+from .pointcloud import FramePointCloud, depth_to_points, frame_to_pointcloud, transform_points
+from .projection import SplatResult, splat_points
+from .rays import RayBundle, intersect_aabb
+from .transforms import (
+    compose,
+    extrapolate_pose,
+    interpolate_pose,
+    invert_pose,
+    is_rotation_matrix,
+    look_at,
+    make_pose,
+    pose_rotation,
+    pose_translation,
+    relative_pose,
+    rotation_angle_deg,
+    rotation_from_axis_angle,
+    rotation_x,
+    rotation_y,
+    rotation_z,
+    translation_distance,
+)
+
+__all__ = [
+    "Intrinsics",
+    "PinholeCamera",
+    "FramePointCloud",
+    "depth_to_points",
+    "frame_to_pointcloud",
+    "transform_points",
+    "SplatResult",
+    "splat_points",
+    "RayBundle",
+    "intersect_aabb",
+    "compose",
+    "extrapolate_pose",
+    "interpolate_pose",
+    "invert_pose",
+    "is_rotation_matrix",
+    "look_at",
+    "make_pose",
+    "pose_rotation",
+    "pose_translation",
+    "relative_pose",
+    "rotation_angle_deg",
+    "rotation_from_axis_angle",
+    "rotation_x",
+    "rotation_y",
+    "rotation_z",
+    "translation_distance",
+]

@@ -1,0 +1,78 @@
+"""Depth-map <-> point-cloud conversion (step 1 of SPARW).
+
+Implements Eq. 1 of the paper: lifting every pixel of a reference frame into
+a 3D point cloud in the reference camera's coordinate system, using the
+per-pixel depth and the camera intrinsics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FramePointCloud", "depth_to_points", "transform_points"]
+
+
+@dataclass
+class FramePointCloud:
+    """Per-pixel 3D points with attached colors and validity mask.
+
+    ``points`` are in *camera* coordinates of the frame that produced them
+    unless transformed; ``valid`` marks pixels with finite depth (void/sky
+    pixels have infinite depth and carry no point).
+    """
+
+    points: np.ndarray  # (N, 3)
+    colors: np.ndarray  # (N, 3)
+    valid: np.ndarray  # (N,) bool
+
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    def transformed(self, transform: np.ndarray) -> "FramePointCloud":
+        """Apply a 4x4 rigid transform to the points (Eq. 2)."""
+        return FramePointCloud(
+            points=transform_points(self.points, transform),
+            colors=self.colors,
+            valid=self.valid,
+        )
+
+
+def depth_to_points(depth: np.ndarray, intrinsics) -> np.ndarray:
+    """Back-project a depth map into camera-space points (Eq. 1).
+
+    ``depth`` is (H, W) metric z-depth.  The output is (H*W, 3), row-major.
+    Pixels with non-finite depth produce non-finite points; callers should
+    mask them via :func:`finite_mask` or :class:`FramePointCloud`.
+    """
+    depth = np.asarray(depth, dtype=float)
+    height, width = depth.shape
+    us = np.arange(width, dtype=float) + 0.5
+    vs = np.arange(height, dtype=float) + 0.5
+    u, v = np.meshgrid(us, vs)
+    x = (u - intrinsics.cx) / intrinsics.fx * depth
+    y = (v - intrinsics.cy) / intrinsics.fy * depth
+    points = np.stack([x, y, depth], axis=-1)
+    return points.reshape(-1, 3)
+
+
+def transform_points(points: np.ndarray, transform: np.ndarray) -> np.ndarray:
+    """Apply a 4x4 rigid transform to (N, 3) points."""
+    points = np.asarray(points, dtype=float)
+    return points @ transform[:3, :3].T + transform[:3, 3]
+
+
+def frame_to_pointcloud(image: np.ndarray, depth: np.ndarray, intrinsics) -> FramePointCloud:
+    """Lift a rendered frame (colors + depth) into a camera-space point cloud."""
+    image = np.asarray(image, dtype=float)
+    depth = np.asarray(depth, dtype=float)
+    if image.shape[:2] != depth.shape:
+        raise ValueError("image and depth resolutions differ")
+    points = depth_to_points(depth, intrinsics)
+    colors = image.reshape(-1, 3)
+    valid = np.isfinite(depth).reshape(-1) & (depth.reshape(-1) > 0.0)
+    return FramePointCloud(points=points, colors=colors, valid=valid)
+
+
+__all__.append("frame_to_pointcloud")

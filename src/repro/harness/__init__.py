@@ -1,0 +1,32 @@
+"""Experiment harness: configs, per-figure runners, reporting."""
+
+from .configs import (
+    ALGORITHMS,
+    DEFAULT,
+    FAST,
+    ExperimentConfig,
+    build_field,
+    build_renderer,
+    ground_truth_sequence,
+    make_camera,
+    scene_of,
+)
+from .experiments import EXPERIMENTS, full_frame_profile, run_sparw
+from .reporting import format_table, print_table
+
+__all__ = [
+    "ALGORITHMS",
+    "DEFAULT",
+    "FAST",
+    "ExperimentConfig",
+    "build_field",
+    "build_renderer",
+    "ground_truth_sequence",
+    "make_camera",
+    "scene_of",
+    "EXPERIMENTS",
+    "full_frame_profile",
+    "run_sparw",
+    "format_table",
+    "print_table",
+]

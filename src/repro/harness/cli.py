@@ -1,0 +1,64 @@
+"""Command-line experiment runner.
+
+Run any figure reproduction from a shell::
+
+    python -m repro.harness.cli fig07
+    python -m repro.harness.cli fig19 --fast
+    python -m repro.harness.cli all --fast
+
+``--fast`` uses the reduced test-scale configuration (seconds per figure);
+the default scale matches the benchmarks (minutes for the quality figures).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .configs import DEFAULT, FAST
+from .experiments import EXPERIMENTS
+from .reporting import print_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli",
+        description="Reproduce individual Cicero (ISCA 2024) figures.")
+    parser.add_argument(
+        "figure",
+        help="figure id (e.g. fig07) or 'all'; 'list' prints available ids")
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="use the reduced test-scale configuration")
+    return parser
+
+
+def run_figure(name: str, config) -> None:
+    started = time.time()
+    result = EXPERIMENTS[name](config)
+    rows = result if isinstance(result, list) else [result]
+    print_table(rows, title=f"{name} ({time.time() - started:.1f}s)")
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    config = FAST if args.fast else DEFAULT
+
+    if args.figure == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    if args.figure == "all":
+        for name in sorted(EXPERIMENTS):
+            run_figure(name, config)
+        return 0
+    if args.figure not in EXPERIMENTS:
+        print(f"unknown figure {args.figure!r}; try 'list'", file=sys.stderr)
+        return 2
+    run_figure(args.figure, config)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

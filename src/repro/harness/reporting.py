@@ -1,0 +1,57 @@
+"""Fixed-width table rendering for benchmark output.
+
+Every bench prints the rows/series of its paper figure through these
+helpers, so ``pytest benchmarks/ --benchmark-only`` doubles as the
+reproduction report.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "print_table", "format_value"]
+
+
+def format_value(value, precision: int = 3) -> str:
+    """Human-friendly formatting: floats rounded, rest stringified."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(rows: list, columns: list | None = None,
+                 title: str | None = None, precision: int = 3) -> str:
+    """Render a list of dict rows as a fixed-width text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[format_value(row.get(col, ""), precision) for col in columns]
+                for row in rows]
+    widths = [max(len(str(col)), *(len(r[i]) for r in rendered))
+              for i, col in enumerate(columns)]
+
+    def line(cells):
+        return "  ".join(cell.rjust(w) for cell, w in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    header = line([str(c) for c in columns])
+    parts.append(header)
+    parts.append("-" * len(header))
+    parts.extend(line(r) for r in rendered)
+    return "\n".join(parts)
+
+
+def print_table(rows: list, columns: list | None = None,
+                title: str | None = None, precision: int = 3) -> None:
+    print()
+    print(format_table(rows, columns=columns, title=title,
+                       precision=precision))

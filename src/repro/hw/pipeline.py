@@ -1,0 +1,64 @@
+"""Reference/target scheduling timelines (Fig. 11 ablation).
+
+Quantifies the paper's key scheduling insight: on-trajectory references
+serialise the pipeline (each window boundary stalls for a full-frame NeRF
+render), while off-trajectory extrapolated references let reference rendering
+proceed concurrently with target rendering — fully when a second compute
+resource exists (remote GPU), time-sliced when sharing the local SoC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TimelineResult", "serialized_timeline", "overlapped_timeline"]
+
+
+@dataclass
+class TimelineResult:
+    """Per-frame latency statistics of one scheduling policy."""
+
+    mean_frame_time: float
+    worst_frame_time: float
+    reference_stall: float  # boundary stall exposed to the user
+
+    @property
+    def fps(self) -> float:
+        return 0.0 if self.mean_frame_time == 0.0 else 1.0 / self.mean_frame_time
+
+
+def serialized_timeline(target_time: float, reference_time: float,
+                        window: int) -> TimelineResult:
+    """On-trajectory policy: the reference blocks the frame stream.
+
+    The reference can only start once its pose is reached, so one frame per
+    window pays the full reference latency on top of its own (Fig. 11a).
+    """
+    window = max(window, 1)
+    mean = target_time + reference_time / window
+    worst = target_time + reference_time
+    return TimelineResult(mean_frame_time=mean, worst_frame_time=worst,
+                          reference_stall=reference_time)
+
+
+def overlapped_timeline(target_time: float, reference_time: float,
+                        window: int, shared_resources: bool = True
+                        ) -> TimelineResult:
+    """Off-trajectory policy: reference rendering overlaps targets.
+
+    With ``shared_resources`` (local rendering) the reference steals cycles
+    from every target slot — the mean matches the serialised policy but the
+    worst case stays flat because the work is spread.  With dedicated
+    resources (remote rendering) targets hide the reference entirely as long
+    as ``reference_time <= window * target_time``.
+    """
+    window = max(window, 1)
+    if shared_resources:
+        slice_per_frame = reference_time / window
+        mean = target_time + slice_per_frame
+        worst = target_time + slice_per_frame
+    else:
+        mean = max(target_time, reference_time / window)
+        worst = mean
+    return TimelineResult(mean_frame_time=mean, worst_frame_time=worst,
+                          reference_stall=0.0)

@@ -1,0 +1,31 @@
+"""Memory-system simulators: DRAM, caches, banked SRAM, energy."""
+
+from .cache import CacheStats, simulate_belady, simulate_lru
+from .dram import DRAMConfig, DRAMCost, DRAMModel
+from .energy import DEFAULT_ENERGY, EnergyModel
+from .sram import BankConflictStats, BankedSRAM
+from .trace import (
+    AccessTrace,
+    StreamAnalysis,
+    analyze_streaming,
+    interleaved_gather_trace,
+    trace_from_gather_group,
+)
+
+__all__ = [
+    "CacheStats",
+    "simulate_belady",
+    "simulate_lru",
+    "DRAMConfig",
+    "DRAMCost",
+    "DRAMModel",
+    "DEFAULT_ENERGY",
+    "EnergyModel",
+    "BankConflictStats",
+    "BankedSRAM",
+    "AccessTrace",
+    "StreamAnalysis",
+    "analyze_streaming",
+    "interleaved_gather_trace",
+    "trace_from_gather_group",
+]

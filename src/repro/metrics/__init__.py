@@ -1,0 +1,15 @@
+"""Quality and summary metrics."""
+
+from .quality import mean_psnr, mse, psnr, psnr_sequence
+from .stats import arithmetic_mean, geometric_mean, normalize_to, speedup
+
+__all__ = [
+    "mean_psnr",
+    "mse",
+    "psnr",
+    "psnr_sequence",
+    "arithmetic_mean",
+    "geometric_mean",
+    "normalize_to",
+    "speedup",
+]

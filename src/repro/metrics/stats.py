@@ -1,0 +1,39 @@
+"""Summary statistics used by the benchmark harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["geometric_mean", "arithmetic_mean", "speedup", "normalize_to"]
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean (the standard for speed-up aggregation)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric_mean of empty sequence")
+    if (arr <= 0.0).any():
+        raise ValueError("geometric_mean requires positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def arithmetic_mean(values) -> float:
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("arithmetic_mean of empty sequence")
+    return float(arr.mean())
+
+
+def speedup(baseline: float, candidate: float) -> float:
+    """``baseline / candidate`` — >1 means the candidate is faster/cheaper."""
+    if candidate <= 0.0:
+        raise ValueError("candidate cost must be positive")
+    return baseline / candidate
+
+
+def normalize_to(values: dict, key: str) -> dict:
+    """Divide every entry by ``values[key]`` (normalised-to-baseline plots)."""
+    base = values[key]
+    if base == 0.0:
+        raise ValueError("cannot normalise to a zero baseline")
+    return {k: v / base for k, v in values.items()}

@@ -1,0 +1,123 @@
+"""Baking: fill per-vertex NeRF features from an analytic scene.
+
+The paper renders *trained* checkpoints; training is never on its critical
+path (all measurements are inference-time).  This module replaces gradient
+training with direct evaluation: density comes from the scene SDF, diffuse
+radiance from Lambertian shading, and the view-dependent component is fitted
+per vertex onto the degree-1 spherical-harmonics basis by least squares over
+a fixed set of probe directions.  The baked features follow the layout in
+:mod:`repro.nerf.fields.decode`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .encoding import sh_basis_deg1
+
+# Matches repro.nerf.fields.decode.CORE_FEATURE_DIM (imported lazily there to
+# avoid a package-init cycle: fields.voxel_grid depends on this module).
+CORE_FEATURE_DIM = 13
+
+__all__ = ["vertex_grid_positions", "bake_vertex_features", "PROBE_DIRECTIONS"]
+
+# Twelve roughly uniform probe directions (icosahedron vertices) used for the
+# least-squares fit of the view-dependent radiance.
+_PHI = (1.0 + np.sqrt(5.0)) / 2.0
+PROBE_DIRECTIONS = np.array([
+    [-1, _PHI, 0], [1, _PHI, 0], [-1, -_PHI, 0], [1, -_PHI, 0],
+    [0, -1, _PHI], [0, 1, _PHI], [0, -1, -_PHI], [0, 1, -_PHI],
+    [_PHI, 0, -1], [_PHI, 0, 1], [-_PHI, 0, -1], [-_PHI, 0, 1],
+])
+PROBE_DIRECTIONS = PROBE_DIRECTIONS / np.linalg.norm(PROBE_DIRECTIONS, axis=1,
+                                                     keepdims=True)
+
+
+def vertex_grid_positions(bounds: tuple, resolution) -> np.ndarray:
+    """World positions of the ``(R+1)^3`` vertex lattice over ``bounds``.
+
+    Vertices are ordered row-major to match
+    :func:`repro.nerf.fields.interp.trilinear_setup` ids.
+    """
+    lo, hi = np.asarray(bounds[0], dtype=float), np.asarray(bounds[1], dtype=float)
+    cells = np.broadcast_to(np.asarray(resolution, dtype=np.int64), (3,))
+    axes = [np.linspace(lo[a], hi[a], int(cells[a]) + 1) for a in range(3)]
+    grid = np.stack(np.meshgrid(*axes, indexing="ij"), axis=-1)
+    return grid.reshape(-1, 3)
+
+
+def _fit_view_dependence(scene, positions: np.ndarray) -> np.ndarray:
+    """Least-squares linear-SH coefficients of the specular radiance.
+
+    For each position we evaluate the full shaded radiance along the probe
+    directions (as if viewed from each direction), subtract the diffuse part,
+    and project the residual onto the three linear SH basis functions.
+    Returns (N, 3 colors, 3 basis).
+    """
+    normals = scene.normals(positions)
+    diffuse = scene.diffuse_radiance(positions)
+
+    num = positions.shape[0]
+    num_probes = PROBE_DIRECTIONS.shape[0]
+    residuals = np.zeros((num, num_probes, 3))
+    for k, probe in enumerate(PROBE_DIRECTIONS):
+        # View direction points from camera toward the surface: the camera
+        # sits along +probe, looking along -probe.
+        view = np.broadcast_to(-probe, positions.shape)
+        shaded = scene.shade(positions, normals, view)
+        residuals[:, k, :] = shaded - diffuse
+
+    # Basis matrix over probes: note view dirs are -probe.
+    basis = sh_basis_deg1(-PROBE_DIRECTIONS)[:, 1:4]  # (K, 3)
+    pinv = np.linalg.pinv(basis)  # (3, K)
+    return np.einsum("mk,nkc->ncm", pinv, residuals)
+
+
+def bake_vertex_features(
+    scene,
+    positions: np.ndarray,
+    feature_dim: int = 16,
+    shell_width: float | None = None,
+    density_sharpness: float = 40.0,
+    max_density: float = 120.0,
+    surface_bias: float = 0.0,
+) -> np.ndarray:
+    """Evaluate the feature layout of :class:`SHDecoder` at ``positions``.
+
+    Only vertices within ``shell_width`` of a surface get color/SH content
+    (their density is the only thing that matters elsewhere), which keeps
+    baking cost proportional to surface area rather than volume.
+
+    ``surface_bias`` shifts the density transition *inward* (positive bias,
+    world units), compensating the residual silhouette bloat of the soft
+    density shell.
+
+    Channel 0 stores the density *logit* ``-sharpness * (d + bias)``
+    (clipped); the decoder's sigmoid turns it into density.  The logit is
+    linear in the SDF, so trilinear interpolation, hash-level residuals and
+    tensor factorisation all represent it far more faithfully than the
+    near-discontinuous density itself.
+    """
+    positions = np.asarray(positions, dtype=float)
+    if feature_dim < CORE_FEATURE_DIM:
+        raise ValueError(f"feature_dim must be >= {CORE_FEATURE_DIM}")
+    del max_density  # density scale lives in the decoder (sigmoid output)
+
+    features = np.zeros((positions.shape[0], feature_dim))
+    distance = scene.distance(positions)
+    biased = distance + surface_bias
+    features[:, 0] = np.clip(-density_sharpness * biased, -40.0, 40.0)
+
+    if shell_width is None:
+        lo, hi = scene.bounds
+        # Default shell: a few voxels of the coarsest plausible grid.
+        shell_width = float((hi - lo).max()) * 0.05
+    near = np.abs(distance) < shell_width
+    if near.any():
+        near_pos = positions[near]
+        features[near, 1:4] = scene.diffuse_radiance(near_pos)
+        has_specular = any(obj.material.specular > 0.0 for obj in scene.objects)
+        if has_specular:
+            coeffs = _fit_view_dependence(scene, near_pos)
+            features[near, 4:13] = coeffs.reshape(-1, 9)
+    return features

@@ -1,0 +1,52 @@
+"""Input encodings: frequency (positional) and spherical-harmonics (view).
+
+The baked fields store per-vertex spherical-harmonic (SH) coefficients so the
+decoded radiance can be view-dependent — the same mechanism PlenOctrees and
+DirectVoxGO-style models use.  Degree-1 SH (4 basis functions) captures the
+broad specular lobes of the procedural scenes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["frequency_encoding", "sh_basis_deg1", "SH_DEG1_DIM"]
+
+SH_DEG1_DIM = 4
+
+# Real SH normalisation constants for l=0 and l=1.
+_SH_C0 = 0.28209479177387814
+_SH_C1 = 0.4886025119029199
+
+
+def frequency_encoding(x: np.ndarray, num_frequencies: int,
+                       include_input: bool = True) -> np.ndarray:
+    """Classic NeRF sinusoidal encoding of coordinates.
+
+    Maps (..., D) to (..., D * (2 * num_frequencies [+ 1])) by appending
+    sin/cos at octave frequencies.
+    """
+    x = np.asarray(x, dtype=float)
+    parts = [x] if include_input else []
+    for level in range(num_frequencies):
+        scaled = x * (2.0**level) * np.pi
+        parts.append(np.sin(scaled))
+        parts.append(np.cos(scaled))
+    return np.concatenate(parts, axis=-1)
+
+
+def sh_basis_deg1(directions: np.ndarray) -> np.ndarray:
+    """Degree-1 real spherical harmonics basis evaluated at unit directions.
+
+    Returns (..., 4): [Y00, Y1-1, Y10, Y11] = [c0, -c1*y, c1*z, -c1*x].
+    """
+    d = np.asarray(directions, dtype=float)
+    norm = np.linalg.norm(d, axis=-1, keepdims=True)
+    d = d / np.where(norm < 1e-12, 1.0, norm)
+    x, y, z = d[..., 0], d[..., 1], d[..., 2]
+    return np.stack([
+        np.full_like(x, _SH_C0),
+        -_SH_C1 * y,
+        _SH_C1 * z,
+        -_SH_C1 * x,
+    ], axis=-1)

@@ -1,0 +1,17 @@
+"""NeRF field families: dense grid, hash grid, and factorised tensor."""
+
+from .base import GatherGroup, RadianceField
+from .decode import CORE_FEATURE_DIM, SHDecoder
+from .hash_grid import HashGridField
+from .tensor_factor import TensorFactorField
+from .voxel_grid import VoxelGridField
+
+__all__ = [
+    "GatherGroup",
+    "RadianceField",
+    "CORE_FEATURE_DIM",
+    "SHDecoder",
+    "HashGridField",
+    "TensorFactorField",
+    "VoxelGridField",
+]

@@ -1,0 +1,107 @@
+"""N-linear interpolation index/weight computation on regular grids.
+
+The Indexing stage (I) of every NeRF model boils down to these routines:
+given normalised coordinates, find the enclosing cell, the ids of its corner
+vertices, and the interpolation weights.  They are shared by the dense voxel
+grid (trilinear), the hash-grid levels (trilinear on a virtual grid), and the
+factorised tensor (bilinear planes + linear vectors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["trilinear_setup", "bilinear_setup", "linear_setup", "flatten_index"]
+
+
+def flatten_index(indices: np.ndarray, shape: tuple) -> np.ndarray:
+    """Row-major flattening of multi-dimensional integer indices.
+
+    ``indices`` has shape (..., D) matching ``len(shape) == D``.
+    """
+    indices = np.asarray(indices)
+    out = np.zeros(indices.shape[:-1], dtype=np.int64)
+    for axis, extent in enumerate(shape):
+        out = out * int(extent) + indices[..., axis].astype(np.int64)
+    return out
+
+
+def _cell_and_frac(coords01: np.ndarray, cells: np.ndarray
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """Split [0, 1] coordinates into integer cell index and fraction."""
+    scaled = np.clip(coords01, 0.0, 1.0) * cells
+    cell = np.minimum(np.floor(scaled).astype(np.int64), cells - 1)
+    frac = scaled - cell
+    return cell, frac
+
+
+def trilinear_setup(coords01: np.ndarray, resolution) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Trilinear cell/vertex/weight computation.
+
+    Parameters
+    ----------
+    coords01:
+        (N, 3) coordinates in [0, 1]^3.
+    resolution:
+        Cells per axis (scalar or length-3); the vertex grid has one more
+        point per axis.
+
+    Returns
+    -------
+    (cell_ids, vertex_ids, weights):
+        ``cell_ids`` (N,) flat ids into the cell grid; ``vertex_ids`` (N, 8)
+        flat ids into the vertex grid; ``weights`` (N, 8) summing to 1.
+    """
+    coords01 = np.atleast_2d(np.asarray(coords01, dtype=float))
+    cells = np.broadcast_to(np.asarray(resolution, dtype=np.int64), (3,))
+    cell, frac = _cell_and_frac(coords01, cells.astype(float))
+
+    cell_shape = tuple(int(c) for c in cells)
+    vertex_shape = tuple(int(c) + 1 for c in cells)
+    cell_ids = flatten_index(cell, cell_shape)
+
+    corners = np.array([[i, j, k] for i in (0, 1) for j in (0, 1) for k in (0, 1)])
+    vertex_multi = cell[:, None, :] + corners[None, :, :]
+    vertex_ids = flatten_index(vertex_multi, vertex_shape)
+
+    w = np.stack([1.0 - frac, frac], axis=-1)  # (N, 3, 2)
+    weights = (
+        w[:, 0, corners[:, 0]] * w[:, 1, corners[:, 1]] * w[:, 2, corners[:, 2]]
+    )
+    return cell_ids, vertex_ids, weights
+
+
+def bilinear_setup(coords01: np.ndarray, resolution) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Bilinear analogue of :func:`trilinear_setup` on a 2-D grid.
+
+    ``coords01`` is (N, 2); returns 4 vertices per sample.
+    """
+    coords01 = np.atleast_2d(np.asarray(coords01, dtype=float))
+    cells = np.broadcast_to(np.asarray(resolution, dtype=np.int64), (2,))
+    cell, frac = _cell_and_frac(coords01, cells.astype(float))
+
+    cell_shape = tuple(int(c) for c in cells)
+    vertex_shape = tuple(int(c) + 1 for c in cells)
+    cell_ids = flatten_index(cell, cell_shape)
+
+    corners = np.array([[i, j] for i in (0, 1) for j in (0, 1)])
+    vertex_multi = cell[:, None, :] + corners[None, :, :]
+    vertex_ids = flatten_index(vertex_multi, vertex_shape)
+
+    w = np.stack([1.0 - frac, frac], axis=-1)
+    weights = w[:, 0, corners[:, 0]] * w[:, 1, corners[:, 1]]
+    return cell_ids, vertex_ids, weights
+
+
+def linear_setup(coords01: np.ndarray, resolution: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Linear interpolation on a 1-D grid; 2 vertices per sample."""
+    coords01 = np.asarray(coords01, dtype=float).reshape(-1)
+    cells = float(resolution)
+    scaled = np.clip(coords01, 0.0, 1.0) * cells
+    cell = np.minimum(np.floor(scaled).astype(np.int64), int(resolution) - 1)
+    frac = scaled - cell
+
+    cell_ids = cell.copy()
+    vertex_ids = np.stack([cell, cell + 1], axis=-1)
+    weights = np.stack([1.0 - frac, frac], axis=-1)
+    return cell_ids, vertex_ids, weights

@@ -1,0 +1,179 @@
+"""Pixel-centric NeRF renderer: full frames and sparse pixel sets.
+
+This is the *baseline* rendering order the paper starts from: rays are
+processed in image order (pixel-centric), each ray sampling, gathering, and
+decoding independently — which is exactly what produces the irregular memory
+traffic characterised in Sec. II-D.  The renderer also produces
+:class:`RenderStats` (ray/sample/MAC counts) that feed the hardware model,
+and can record the gather plan of every batch for the memory experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry.camera import PinholeCamera
+from ..scenes.raytracer import Frame
+from .sampling import RaySamples, UniformSampler
+from .volume_render import composite
+
+__all__ = ["RenderStats", "NeRFRenderer"]
+
+
+@dataclass
+class RenderStats:
+    """Work counters for one render call (inputs to the hardware model)."""
+
+    num_rays: int = 0
+    num_samples: int = 0
+    mlp_macs: int = 0
+    gather_vertex_accesses: int = 0
+    gather_bytes: int = 0
+
+    def merge(self, other: "RenderStats") -> "RenderStats":
+        return RenderStats(
+            num_rays=self.num_rays + other.num_rays,
+            num_samples=self.num_samples + other.num_samples,
+            mlp_macs=self.mlp_macs + other.mlp_macs,
+            gather_vertex_accesses=(self.gather_vertex_accesses
+                                    + other.gather_vertex_accesses),
+            gather_bytes=self.gather_bytes + other.gather_bytes,
+        )
+
+
+@dataclass
+class RenderOutput:
+    """Raw per-ray render results plus bookkeeping."""
+
+    rgb: np.ndarray
+    depth_t: np.ndarray  # distance along the ray
+    opacity: np.ndarray
+    stats: RenderStats
+    gather_groups: list = field(default_factory=list)
+
+
+class NeRFRenderer:
+    """Renders a radiance field through volume rendering, in ray chunks."""
+
+    def __init__(self, fld, sampler: UniformSampler | None = None,
+                 background=None, chunk_size: int = 16384,
+                 opacity_threshold: float = 0.5):
+        self.field = fld
+        self.sampler = sampler or UniformSampler()
+        self.background = background
+        self.chunk_size = int(chunk_size)
+        self.opacity_threshold = opacity_threshold
+
+    # -- core ray rendering ----------------------------------------------------
+
+    def render_rays(self, origins: np.ndarray, directions: np.ndarray,
+                    record_gather: bool = False) -> RenderOutput:
+        """Render a flat bundle of rays; returns per-ray color/depth/opacity."""
+        origins = np.atleast_2d(np.asarray(origins, dtype=float))
+        directions = np.atleast_2d(np.asarray(directions, dtype=float))
+        num_rays = origins.shape[0]
+
+        rgb = np.zeros((num_rays, 3))
+        depth = np.full(num_rays, np.inf)
+        opacity = np.zeros(num_rays)
+        stats = RenderStats(num_rays=num_rays)
+        groups = []
+
+        for start in range(0, num_rays, self.chunk_size):
+            stop = min(start + self.chunk_size, num_rays)
+            samples = self.sampler.sample(origins[start:stop],
+                                          directions[start:stop],
+                                          self.field.bounds)
+            out = self._render_samples(samples, record_gather)
+            rgb[start:stop] = out.rgb
+            depth[start:stop] = out.depth_t
+            opacity[start:stop] = out.opacity
+            stats = stats.merge(out.stats)
+            groups.extend(out.gather_groups)
+
+        stats.num_rays = num_rays
+        return RenderOutput(rgb=rgb, depth_t=depth, opacity=opacity,
+                            stats=stats, gather_groups=groups)
+
+    def _render_samples(self, samples: RaySamples, record_gather: bool
+                        ) -> RenderOutput:
+        stats = RenderStats(num_samples=len(samples))
+        groups = []
+        if len(samples) == 0:
+            zeros = np.zeros(samples.num_rays)
+            return RenderOutput(rgb=np.zeros((samples.num_rays, 3)),
+                                depth_t=np.full(samples.num_rays, np.inf),
+                                opacity=zeros, stats=stats)
+
+        if record_gather:
+            groups = self.field.gather_plan(samples.positions)
+            counted = groups
+            scale = 1
+        else:
+            # A one-sample plan gives the per-sample access shape cheaply.
+            counted = self.field.gather_plan(samples.positions[:1])
+            scale = len(samples)
+        for group in counted:
+            accesses = group.vertices_per_sample * group.num_samples * scale
+            stats.gather_vertex_accesses += accesses
+            stats.gather_bytes += accesses * group.entry_bytes
+
+        features = self.field.interpolate(samples.positions)
+        sigma, rgb_s = self.field.decode(features, samples.directions)
+        stats.mlp_macs = len(samples) * self.field.decoder.macs_per_sample()
+
+        result = composite(sigma, rgb_s, samples.t_values, samples.deltas,
+                           samples.ray_index, samples.num_rays)
+        return RenderOutput(rgb=result.rgb, depth_t=result.depth,
+                            opacity=result.opacity, stats=stats,
+                            gather_groups=groups)
+
+    # -- frame-level API ---------------------------------------------------------
+
+    def render_frame(self, camera: PinholeCamera,
+                     record_gather: bool = False) -> tuple[Frame, RenderOutput]:
+        """Render a full frame; returns the Frame and the raw output."""
+        origins, directions = camera.generate_rays()
+        flat_o = origins.reshape(-1, 3)
+        flat_d = directions.reshape(-1, 3)
+        out = self.render_rays(flat_o, flat_d, record_gather=record_gather)
+
+        height, width = camera.height, camera.width
+        solid = out.opacity >= self.opacity_threshold
+        image = out.rgb.copy()
+        if self.background is not None:
+            bg = self.background(flat_d)
+            image = image + (1.0 - out.opacity[:, None]) * bg
+        forward = camera.c2w[:3, 2]
+        z = out.depth_t * (flat_d @ forward)
+        depth = np.where(solid & np.isfinite(out.depth_t), z, np.inf)
+
+        frame = Frame(image=np.clip(image, 0.0, 1.0).reshape(height, width, 3),
+                      depth=depth.reshape(height, width),
+                      hit=solid.reshape(height, width),
+                      c2w=camera.c2w.copy())
+        return frame, out
+
+    def render_pixels(self, camera: PinholeCamera, pixel_ids: np.ndarray,
+                      record_gather: bool = False
+                      ) -> tuple[np.ndarray, np.ndarray, RenderOutput]:
+        """Render a sparse pixel subset; returns (colors, z_depth, output)."""
+        pixel_ids = np.asarray(pixel_ids, dtype=np.int64)
+        if pixel_ids.size == 0:
+            empty = RenderOutput(rgb=np.zeros((0, 3)), depth_t=np.zeros(0),
+                                 opacity=np.zeros(0), stats=RenderStats())
+            return np.zeros((0, 3)), np.zeros(0), empty
+        v, u = np.divmod(pixel_ids, camera.width)
+        origins, directions = camera.rays_for_pixels(u + 0.5, v + 0.5)
+        out = self.render_rays(origins, directions, record_gather=record_gather)
+
+        colors = out.rgb.copy()
+        if self.background is not None:
+            colors = colors + (1.0 - out.opacity[:, None]) * self.background(directions)
+        forward = camera.c2w[:3, 2]
+        z = out.depth_t * (directions @ forward)
+        solid = out.opacity >= self.opacity_threshold
+        z = np.where(solid & np.isfinite(out.depth_t), z, np.inf)
+        return np.clip(colors, 0.0, 1.0), z, out

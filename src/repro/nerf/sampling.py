@@ -1,0 +1,131 @@
+"""Ray sampling: stratified samples inside the field AABB + occupancy skipping.
+
+The Indexing stage (I) begins here: every ray takes a fixed budget of samples
+between its AABB entry and exit points.  An optional occupancy grid (built
+from the baked density) culls samples in empty space, as DirectVoxGO and
+Instant-NGP both do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry.rays import intersect_aabb
+
+__all__ = ["RaySamples", "OccupancyGrid", "UniformSampler"]
+
+
+@dataclass
+class RaySamples:
+    """Samples along a bundle of rays, flattened for batched field queries.
+
+    ``ray_index`` maps each sample back to its ray; ``t_values`` are distances
+    along the (unit-norm) ray directions; ``deltas`` are the spacing used for
+    alpha compositing.
+    """
+
+    positions: np.ndarray  # (S, 3)
+    directions: np.ndarray  # (S, 3) per-sample view dirs
+    t_values: np.ndarray  # (S,)
+    deltas: np.ndarray  # (S,)
+    ray_index: np.ndarray  # (S,) int
+    num_rays: int
+
+    def __len__(self) -> int:
+        return self.positions.shape[0]
+
+
+class OccupancyGrid:
+    """Binary occupancy over the field bounds for empty-space skipping."""
+
+    def __init__(self, occupancy: np.ndarray, bounds: tuple):
+        self.occupancy = np.asarray(occupancy, dtype=bool)
+        self.bounds = (np.asarray(bounds[0], dtype=float),
+                       np.asarray(bounds[1], dtype=float))
+
+    @classmethod
+    def from_field(cls, field, resolution: int = 32,
+                   threshold: float = 0.05, dilate: int = 1) -> "OccupancyGrid":
+        """Probe the field's density on a lattice and threshold + dilate it."""
+        lo, hi = field.bounds
+        axes = [np.linspace(lo[a], hi[a], resolution) for a in range(3)]
+        grid = np.stack(np.meshgrid(*axes, indexing="ij"), axis=-1)
+        points = grid.reshape(-1, 3)
+        features = field.interpolate(points)
+        density = field.decoder.density(features).reshape((resolution,) * 3)
+        occ = density > threshold
+        for _ in range(dilate):
+            grown = occ.copy()
+            grown[1:, :, :] |= occ[:-1, :, :]
+            grown[:-1, :, :] |= occ[1:, :, :]
+            grown[:, 1:, :] |= occ[:, :-1, :]
+            grown[:, :-1, :] |= occ[:, 1:, :]
+            grown[:, :, 1:] |= occ[:, :, :-1]
+            grown[:, :, :-1] |= occ[:, :, 1:]
+            occ = grown
+        return cls(occ, field.bounds)
+
+    def occupied(self, points: np.ndarray) -> np.ndarray:
+        """Boolean occupancy lookup for (N, 3) world points."""
+        lo, hi = self.bounds
+        res = self.occupancy.shape[0]
+        coords = (np.asarray(points, dtype=float) - lo) / (hi - lo)
+        idx = np.clip((coords * res).astype(np.int64), 0, res - 1)
+        return self.occupancy[idx[:, 0], idx[:, 1], idx[:, 2]]
+
+    @property
+    def occupancy_rate(self) -> float:
+        return float(self.occupancy.mean())
+
+
+class UniformSampler:
+    """Stratified uniform sampling within the AABB, with optional occupancy cull.
+
+    ``jitter=False`` (default) centres samples in their strata, making renders
+    deterministic; set ``jitter=True`` with a seed for stochastic sampling.
+    """
+
+    def __init__(self, num_samples: int = 96, occupancy: OccupancyGrid | None = None,
+                 jitter: bool = False, seed: int = 0):
+        self.num_samples = int(num_samples)
+        self.occupancy = occupancy
+        self.jitter = jitter
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, origins: np.ndarray, directions: np.ndarray,
+               bounds: tuple) -> RaySamples:
+        """Generate flattened samples for a bundle of rays."""
+        origins = np.atleast_2d(np.asarray(origins, dtype=float))
+        directions = np.atleast_2d(np.asarray(directions, dtype=float))
+        num_rays = origins.shape[0]
+        lo, hi = bounds
+
+        t_near, t_far, hit = intersect_aabb(origins, directions, lo, hi,
+                                            near=1e-4)
+        spans = np.where(hit, t_far - t_near, 0.0)
+        steps = np.arange(self.num_samples)
+        if self.jitter:
+            offsets = self._rng.uniform(size=(num_rays, self.num_samples))
+        else:
+            offsets = np.full((num_rays, self.num_samples), 0.5)
+        t = t_near[:, None] + (steps[None, :] + offsets) / self.num_samples * spans[:, None]
+        delta = spans / self.num_samples
+
+        positions = origins[:, None, :] + t[..., None] * directions[:, None, :]
+        keep = np.repeat(hit[:, None], self.num_samples, axis=1)
+        if self.occupancy is not None:
+            occ = self.occupancy.occupied(positions.reshape(-1, 3))
+            keep &= occ.reshape(num_rays, self.num_samples)
+
+        flat_keep = keep.reshape(-1)
+        ray_index = np.repeat(np.arange(num_rays), self.num_samples)[flat_keep]
+        return RaySamples(
+            positions=positions.reshape(-1, 3)[flat_keep],
+            directions=np.repeat(directions, self.num_samples, axis=0)[flat_keep],
+            t_values=t.reshape(-1)[flat_keep],
+            deltas=np.repeat(delta, self.num_samples)[flat_keep],
+            ray_index=ray_index,
+            num_rays=num_rays,
+        )

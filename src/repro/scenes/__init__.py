@@ -1,0 +1,37 @@
+"""Procedural scenes, ground-truth ray tracer, and camera trajectories."""
+
+from .library import (
+    REAL_WORLD_SCENES,
+    SYNTHETIC_SCENES,
+    bonsai_like,
+    get_scene,
+    ignatius_like,
+)
+from .raytracer import Frame, RayTracer
+from .scene import DirectionalLight, Material, Scene, SceneObject
+from .sdf import SDF, Box, Cylinder, Plane, Sphere, Torus
+from .trajectory import Trajectory, handheld_trajectory, orbit_trajectory, resample_fps
+
+__all__ = [
+    "REAL_WORLD_SCENES",
+    "SYNTHETIC_SCENES",
+    "bonsai_like",
+    "get_scene",
+    "ignatius_like",
+    "Frame",
+    "RayTracer",
+    "DirectionalLight",
+    "Material",
+    "Scene",
+    "SceneObject",
+    "SDF",
+    "Box",
+    "Cylinder",
+    "Plane",
+    "Sphere",
+    "Torus",
+    "Trajectory",
+    "handheld_trajectory",
+    "orbit_trajectory",
+    "resample_fps",
+]

@@ -1,0 +1,244 @@
+"""Scene library: procedural stand-ins for the paper's datasets.
+
+The paper evaluates on Synthetic-NeRF (eight object scenes), Unbounded-360
+(Bonsai) and Tanks-and-Temples (Ignatius).  We cannot ship those captures, so
+this module provides deterministic procedural scenes with matching *roles*:
+
+* ``SYNTHETIC_SCENES`` — eight bounded object-centric scenes with mostly
+  diffuse materials (where SPARW's radiance approximation holds well).
+* ``bonsai_like()`` / ``ignatius_like()`` — two scenes with ground planes and
+  noticeable specular components, standing in for the real-world captures
+  where warping quality degrades at low temporal resolution (Sec. VI-F).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .scene import (
+    DirectionalLight,
+    Material,
+    Scene,
+    SceneObject,
+    checker_albedo,
+    noise_albedo,
+    solid_albedo,
+    stripe_albedo,
+)
+from .sdf import Box, Cylinder, Sphere, Torus
+
+__all__ = [
+    "lego_like", "chair_like", "drums_like", "ficus_like",
+    "hotdog_like", "materials_like", "mic_like", "ship_like",
+    "bonsai_like", "ignatius_like",
+    "SYNTHETIC_SCENES", "REAL_WORLD_SCENES", "get_scene",
+]
+
+_BOUNDS = (np.array([-1.5, -1.5, -1.5]), np.array([1.5, 1.5, 1.5]))
+
+
+def lego_like() -> Scene:
+    """Blocky stacked-brick object (stands in for *lego*)."""
+    objects = [
+        SceneObject(Box(center=[0.0, -0.55, 0.0], half_size=[0.9, 0.12, 0.6]),
+                    Material(albedo=checker_albedo([0.85, 0.75, 0.2], [0.75, 0.6, 0.12], 0.14)),
+                    name="base"),
+        SceneObject(Box(center=[-0.3, -0.2, 0.0], half_size=[0.45, 0.22, 0.45]),
+                    Material(albedo=noise_albedo([0.8, 0.25, 0.15], 0.2, 9.0, seed=21)), name="body"),
+        SceneObject(Box(center=[0.35, 0.05, 0.0], half_size=[0.28, 0.45, 0.28]),
+                    Material(albedo=noise_albedo([0.25, 0.45, 0.8], 0.2, 9.0, seed=22)), name="tower"),
+        SceneObject(Cylinder(center=[-0.3, 0.15, 0.0], radius=0.12, half_height=0.14),
+                    Material(albedo=solid_albedo([0.9, 0.8, 0.2])), name="stud"),
+    ]
+    return Scene(objects=objects, bounds=_BOUNDS, name="lego")
+
+
+def chair_like() -> Scene:
+    """Seat + backrest + four legs (stands in for *chair*)."""
+    legs = [
+        SceneObject(Box(center=[x, -0.75, z], half_size=[0.06, 0.45, 0.06]),
+                    Material(albedo=solid_albedo([0.45, 0.28, 0.15])), name=f"leg{i}")
+        for i, (x, z) in enumerate([(-0.45, -0.45), (0.45, -0.45), (-0.45, 0.45), (0.45, 0.45)])
+    ]
+    objects = legs + [
+        SceneObject(Box(center=[0.0, -0.25, 0.0], half_size=[0.55, 0.07, 0.55]),
+                    Material(albedo=stripe_albedo([0.6, 0.4, 0.2], [0.45, 0.28, 0.14], 0, 0.1)),
+                    name="seat"),
+        SceneObject(Box(center=[0.0, 0.35, -0.5], half_size=[0.55, 0.55, 0.06]),
+                    Material(albedo=stripe_albedo([0.62, 0.42, 0.22], [0.48, 0.3, 0.15], 1, 0.12)),
+                    name="back"),
+    ]
+    return Scene(objects=objects, bounds=_BOUNDS, name="chair")
+
+
+def drums_like() -> Scene:
+    """Cylinders of varying radii (stands in for *drums*)."""
+    objects = [
+        SceneObject(Cylinder(center=[-0.5, -0.35, 0.2], radius=0.4, half_height=0.28),
+                    Material(albedo=solid_albedo([0.75, 0.2, 0.2]), specular=0.15), name="kick"),
+        SceneObject(Cylinder(center=[0.45, -0.2, -0.3], radius=0.3, half_height=0.18),
+                    Material(albedo=solid_albedo([0.85, 0.85, 0.88]), specular=0.3), name="snare"),
+        SceneObject(Cylinder(center=[0.35, 0.25, 0.45], radius=0.24, half_height=0.12),
+                    Material(albedo=solid_albedo([0.9, 0.75, 0.3]), specular=0.4,
+                             shininess=64.0), name="cymbal"),
+        SceneObject(Box(center=[0.0, -0.8, 0.0], half_size=[1.1, 0.08, 1.1]),
+                    Material(albedo=checker_albedo([0.4, 0.4, 0.45], [0.28, 0.28, 0.33], 0.16)),
+                    name="riser"),
+    ]
+    return Scene(objects=objects, bounds=_BOUNDS, name="drums")
+
+
+def ficus_like() -> Scene:
+    """Pot + trunk + leafy blobs (stands in for *ficus*)."""
+    rng = np.random.default_rng(7)
+    leaves = []
+    for i in range(6):
+        center = np.array([rng.uniform(-0.45, 0.45), rng.uniform(0.15, 0.8),
+                           rng.uniform(-0.45, 0.45)])
+        leaves.append(SceneObject(
+            Sphere(center=center, radius=rng.uniform(0.18, 0.3)),
+            Material(albedo=noise_albedo([0.2, 0.55, 0.2], 0.22, 9.0, seed=i)),
+            name=f"leaf{i}"))
+    objects = leaves + [
+        SceneObject(Cylinder(center=[0.0, -0.15, 0.0], radius=0.07, half_height=0.55),
+                    Material(albedo=solid_albedo([0.4, 0.26, 0.13])), name="trunk"),
+        SceneObject(Cylinder(center=[0.0, -0.8, 0.0], radius=0.35, half_height=0.2),
+                    Material(albedo=solid_albedo([0.65, 0.35, 0.25])), name="pot"),
+    ]
+    return Scene(objects=objects, bounds=_BOUNDS, name="ficus")
+
+
+def hotdog_like() -> Scene:
+    """Plate + two elongated shapes (stands in for *hotdog*)."""
+    objects = [
+        SceneObject(Cylinder(center=[0.0, -0.6, 0.0], radius=0.95, half_height=0.06),
+                    Material(albedo=checker_albedo([0.92, 0.92, 0.95], [0.8, 0.8, 0.86], 0.15), specular=0.2),
+                    name="plate"),
+        SceneObject(Sphere(center=[-0.25, -0.38, 0.0], radius=0.22).scaled(1.0),
+                    Material(albedo=solid_albedo([0.8, 0.45, 0.2])), name="bun_a"),
+        SceneObject(Sphere(center=[0.25, -0.38, 0.0], radius=0.22),
+                    Material(albedo=solid_albedo([0.8, 0.45, 0.2])), name="bun_b"),
+        SceneObject(Torus(center=[0.0, -0.3, 0.0], major=0.45, minor=0.1),
+                    Material(albedo=solid_albedo([0.7, 0.25, 0.12]), specular=0.1),
+                    name="sausage"),
+    ]
+    return Scene(objects=objects, bounds=_BOUNDS, name="hotdog")
+
+
+def materials_like() -> Scene:
+    """Grid of spheres with varying specular strength (stands in for *materials*).
+
+    This is intentionally the most view-dependent synthetic scene: it bounds
+    the quality loss of the diffuse-reuse assumption in SPARW.
+    """
+    objects = []
+    speculars = [0.0, 0.15, 0.35, 0.6]
+    for i, spec in enumerate(speculars):
+        x = -0.75 + 0.5 * i
+        objects.append(SceneObject(
+            Sphere(center=[x, -0.2, 0.0], radius=0.22),
+            Material(albedo=solid_albedo([0.6, 0.3 + 0.1 * i, 0.7 - 0.12 * i]),
+                     specular=spec, shininess=48.0),
+            name=f"sphere{i}"))
+    objects.append(SceneObject(
+        Box(center=[0.0, -0.55, 0.0], half_size=[1.2, 0.08, 0.7]),
+        Material(albedo=checker_albedo([0.8, 0.8, 0.8], [0.25, 0.25, 0.25], 0.15)),
+        name="table"))
+    return Scene(objects=objects, bounds=_BOUNDS, name="materials")
+
+
+def mic_like() -> Scene:
+    """Sphere on a thin stand (stands in for *mic*)."""
+    objects = [
+        SceneObject(Sphere(center=[0.0, 0.45, 0.0], radius=0.32),
+                    Material(albedo=noise_albedo([0.6, 0.6, 0.65], 0.25, 11.0, seed=3),
+                             specular=0.25), name="head"),
+        SceneObject(Cylinder(center=[0.0, -0.2, 0.0], radius=0.05, half_height=0.45),
+                    Material(albedo=solid_albedo([0.3, 0.3, 0.32])), name="stand"),
+        SceneObject(Cylinder(center=[0.0, -0.7, 0.0], radius=0.4, half_height=0.07),
+                    Material(albedo=solid_albedo([0.25, 0.25, 0.28])), name="base"),
+    ]
+    return Scene(objects=objects, bounds=_BOUNDS, name="mic")
+
+
+def ship_like() -> Scene:
+    """Hull + masts above a reflective 'water' slab (stands in for *ship*)."""
+    objects = [
+        SceneObject(Box(center=[0.0, -0.45, 0.0], half_size=[0.85, 0.18, 0.3]),
+                    Material(albedo=solid_albedo([0.5, 0.33, 0.18])), name="hull"),
+        SceneObject(Cylinder(center=[-0.25, 0.15, 0.0], radius=0.04, half_height=0.5),
+                    Material(albedo=solid_albedo([0.45, 0.3, 0.16])), name="mast_a"),
+        SceneObject(Cylinder(center=[0.35, 0.05, 0.0], radius=0.035, half_height=0.4),
+                    Material(albedo=solid_albedo([0.45, 0.3, 0.16])), name="mast_b"),
+        SceneObject(Box(center=[0.0, -0.72, 0.0], half_size=[1.3, 0.06, 1.3]),
+                    Material(albedo=noise_albedo([0.15, 0.3, 0.5], 0.18, 8.0, seed=11),
+                             specular=0.5, shininess=24.0), name="water"),
+    ]
+    return Scene(objects=objects, bounds=_BOUNDS, name="ship")
+
+
+def bonsai_like() -> Scene:
+    """Indoor-style unbounded scene (stands in for Unbounded-360 *Bonsai*)."""
+    objects = [
+        SceneObject(Cylinder(center=[0.0, -0.55, 0.0], radius=0.45, half_height=0.12),
+                    Material(albedo=solid_albedo([0.55, 0.3, 0.2]), specular=0.2),
+                    name="pot"),
+        SceneObject(Sphere(center=[0.0, 0.15, 0.0], radius=0.45),
+                    Material(albedo=noise_albedo([0.25, 0.5, 0.22], 0.24, 10.0, seed=5)),
+                    name="canopy"),
+        SceneObject(Cylinder(center=[0.0, -0.25, 0.0], radius=0.07, half_height=0.3),
+                    Material(albedo=solid_albedo([0.38, 0.25, 0.14])), name="trunk"),
+        SceneObject(Box(center=[0.0, -0.78, 0.0], half_size=[1.35, 0.1, 1.35]),
+                    Material(albedo=checker_albedo([0.75, 0.7, 0.62], [0.58, 0.53, 0.46], 0.18),
+                             specular=0.35, shininess=20.0), name="table"),
+    ]
+    return Scene(objects=objects, bounds=_BOUNDS, name="bonsai")
+
+
+def ignatius_like() -> Scene:
+    """Outdoor statue scene (stands in for Tanks-and-Temples *Ignatius*)."""
+    objects = [
+        SceneObject(Sphere(center=[0.0, 0.35, 0.0], radius=0.28),
+                    Material(albedo=solid_albedo([0.35, 0.32, 0.3]), specular=0.45,
+                             shininess=16.0), name="head"),
+        SceneObject(Box(center=[0.0, -0.15, 0.0], half_size=[0.3, 0.35, 0.2]),
+                    Material(albedo=noise_albedo([0.38, 0.35, 0.32], 0.16, 9.0, seed=9),
+                             specular=0.4, shininess=16.0), name="torso"),
+        SceneObject(Box(center=[0.0, -0.62, 0.0], half_size=[0.45, 0.14, 0.45]),
+                    Material(albedo=solid_albedo([0.5, 0.48, 0.45])), name="plinth"),
+        SceneObject(Box(center=[0.0, -0.82, 0.0], half_size=[1.35, 0.08, 1.35]),
+                    Material(albedo=checker_albedo([0.55, 0.52, 0.48], [0.43, 0.41, 0.38], 0.2)),
+                    name="ground"),
+    ]
+    lights = [
+        DirectionalLight(direction=[-0.4, -1.0, -0.2], intensity=1.0),
+        DirectionalLight(direction=[0.8, -0.3, 0.4], color=[0.95, 0.9, 0.85], intensity=0.35),
+    ]
+    return Scene(objects=objects, lights=lights, bounds=_BOUNDS, name="ignatius")
+
+
+SYNTHETIC_SCENES = {
+    "lego": lego_like,
+    "chair": chair_like,
+    "drums": drums_like,
+    "ficus": ficus_like,
+    "hotdog": hotdog_like,
+    "materials": materials_like,
+    "mic": mic_like,
+    "ship": ship_like,
+}
+
+REAL_WORLD_SCENES = {
+    "bonsai": bonsai_like,
+    "ignatius": ignatius_like,
+}
+
+
+def get_scene(name: str) -> Scene:
+    """Build a scene by name from either suite."""
+    if name in SYNTHETIC_SCENES:
+        return SYNTHETIC_SCENES[name]()
+    if name in REAL_WORLD_SCENES:
+        return REAL_WORLD_SCENES[name]()
+    known = sorted(SYNTHETIC_SCENES) + sorted(REAL_WORLD_SCENES)
+    raise KeyError(f"unknown scene {name!r}; known scenes: {known}")

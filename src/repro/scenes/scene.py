@@ -1,0 +1,258 @@
+"""Scene description: SDF geometry + materials + lights.
+
+A :class:`Scene` is the single source of truth for an experiment: the
+ground-truth sphere tracer renders it exactly, and the NeRF fields are baked
+from its density/albedo so that rendering-quality comparisons (PSNR) are
+meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .sdf import SDF, estimate_normals
+
+__all__ = ["Material", "SceneObject", "DirectionalLight", "Scene",
+           "checker_albedo", "stripe_albedo", "solid_albedo", "noise_albedo"]
+
+
+def solid_albedo(color) -> Callable[[np.ndarray], np.ndarray]:
+    """Constant albedo."""
+    color = np.asarray(color, dtype=float)
+
+    def fn(points: np.ndarray) -> np.ndarray:
+        return np.broadcast_to(color, points.shape[:-1] + (3,)).copy()
+
+    return fn
+
+
+def checker_albedo(color_a, color_b, scale: float = 1.0) -> Callable[[np.ndarray], np.ndarray]:
+    """3D checkerboard albedo with cell size ``scale``."""
+    color_a = np.asarray(color_a, dtype=float)
+    color_b = np.asarray(color_b, dtype=float)
+
+    def fn(points: np.ndarray) -> np.ndarray:
+        cells = np.floor(points / scale).astype(np.int64).sum(axis=-1)
+        pick = (cells % 2 == 0)[..., None]
+        return np.where(pick, color_a, color_b)
+
+    return fn
+
+
+def stripe_albedo(color_a, color_b, axis: int = 0, scale: float = 0.5) -> Callable[[np.ndarray], np.ndarray]:
+    """Striped albedo along one axis."""
+    color_a = np.asarray(color_a, dtype=float)
+    color_b = np.asarray(color_b, dtype=float)
+
+    def fn(points: np.ndarray) -> np.ndarray:
+        bands = np.floor(points[..., axis] / scale).astype(np.int64)
+        pick = (bands % 2 == 0)[..., None]
+        return np.where(pick, color_a, color_b)
+
+    return fn
+
+
+def noise_albedo(base_color, amplitude: float = 0.3, frequency: float = 2.0,
+                 seed: int = 0) -> Callable[[np.ndarray], np.ndarray]:
+    """Smooth pseudo-random color variation (sum of random sinusoids).
+
+    Deterministic in ``seed``; differentiable and band-limited so baked grids
+    can represent it without aliasing artifacts dominating PSNR.
+    """
+    rng = np.random.default_rng(seed)
+    base_color = np.asarray(base_color, dtype=float)
+    dirs = rng.normal(size=(3, 4, 3))
+    phases = rng.uniform(0.0, 2.0 * np.pi, size=(3, 4))
+
+    def fn(points: np.ndarray) -> np.ndarray:
+        out = np.broadcast_to(base_color, points.shape[:-1] + (3,)).copy()
+        for channel in range(3):
+            wobble = np.zeros(points.shape[:-1])
+            for k in range(4):
+                wobble += np.sin(frequency * points @ dirs[channel, k] + phases[channel, k])
+            out[..., channel] = np.clip(out[..., channel] + amplitude * wobble / 4.0, 0.0, 1.0)
+        return out
+
+    return fn
+
+
+@dataclass
+class Material:
+    """Surface material: spatially varying albedo plus Blinn-Phong specular.
+
+    ``specular == 0`` gives a perfectly diffuse (Lambertian) surface — the
+    regime where SPARW's radiance approximation is exact.  Non-zero specular
+    makes radiance view-dependent, which is what stresses warping on the
+    "real-world" scenes (Sec. VI-F of the paper).
+    """
+
+    albedo: Callable[[np.ndarray], np.ndarray] = field(default_factory=lambda: solid_albedo([0.8, 0.8, 0.8]))
+    specular: float = 0.0
+    shininess: float = 32.0
+
+
+@dataclass
+class SceneObject:
+    """A geometry (SDF) with its material and a debug name."""
+
+    sdf: SDF
+    material: Material = field(default_factory=Material)
+    name: str = "object"
+
+
+@dataclass
+class DirectionalLight:
+    """Directional light with unit direction pointing *from* the light."""
+
+    direction: np.ndarray
+    color: np.ndarray = field(default_factory=lambda: np.ones(3))
+    intensity: float = 1.0
+
+    def __post_init__(self):
+        direction = np.asarray(self.direction, dtype=float)
+        self.direction = direction / np.linalg.norm(direction)
+        self.color = np.asarray(self.color, dtype=float)
+
+
+def _default_background(directions: np.ndarray) -> np.ndarray:
+    """Soft vertical sky gradient used when a scene doesn't override it."""
+    t = np.clip(0.5 * (1.0 - directions[..., 1]), 0.0, 1.0)[..., None]
+    horizon = np.array([0.85, 0.88, 0.95])
+    zenith = np.array([0.35, 0.45, 0.70])
+    return (1.0 - t) * zenith + t * horizon
+
+
+@dataclass
+class Scene:
+    """A renderable scene: objects, lights, bounds, and a background.
+
+    ``bounds`` is the (min, max) AABB that NeRF fields cover; rays are only
+    sampled inside it.  ``bounded`` scenes (the synthetic suite) have all
+    geometry inside the box; "unbounded" scenes additionally mark background
+    pixels as infinite-depth voids.
+    """
+
+    objects: list
+    lights: list = field(default_factory=lambda: [
+        DirectionalLight(direction=[-0.5, -1.0, -0.3], intensity=0.9),
+        DirectionalLight(direction=[0.7, -0.4, 0.5], color=[1.0, 0.95, 0.9], intensity=0.45),
+    ])
+    bounds: tuple = (np.array([-1.5, -1.5, -1.5]), np.array([1.5, 1.5, 1.5]))
+    ambient: float = 0.25
+    background: Callable[[np.ndarray], np.ndarray] = _default_background
+    name: str = "scene"
+
+    def __post_init__(self):
+        lo, hi = self.bounds
+        self.bounds = (np.asarray(lo, dtype=float), np.asarray(hi, dtype=float))
+
+    # -- geometry queries ---------------------------------------------------
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        """Signed distance to the nearest object surface."""
+        dists = [obj.sdf.distance(points) for obj in self.objects]
+        return np.minimum.reduce(dists)
+
+    def object_index(self, points: np.ndarray) -> np.ndarray:
+        """Index of the nearest object per point."""
+        dists = np.stack([obj.sdf.distance(points) for obj in self.objects], axis=-1)
+        return np.argmin(dists, axis=-1)
+
+    def normals(self, points: np.ndarray) -> np.ndarray:
+        """Surface normals of the combined field."""
+        combined = _CombinedSDF(self)
+        return estimate_normals(combined, points)
+
+    # -- volumetric density (for NeRF baking) --------------------------------
+
+    def density(self, points: np.ndarray, sharpness: float = 40.0,
+                max_density: float = 120.0) -> np.ndarray:
+        """Soft occupancy derived from the SDF.
+
+        ``sigma(x) = max_density * sigmoid(-sharpness * d(x))`` — solid inside
+        the surface, a thin soft shell at the boundary so that trilinear
+        interpolation of a baked grid reconstructs the surface smoothly.
+        """
+        d = self.distance(points)
+        return max_density / (1.0 + np.exp(np.clip(sharpness * d, -40.0, 40.0)))
+
+    # -- shading --------------------------------------------------------------
+
+    def albedo(self, points: np.ndarray) -> np.ndarray:
+        """Albedo of the nearest object at each point."""
+        points = np.asarray(points, dtype=float)
+        flat = points.reshape(-1, 3)
+        idx = self.object_index(flat)
+        out = np.zeros_like(flat)
+        for i, obj in enumerate(self.objects):
+            mask = idx == i
+            if mask.any():
+                out[mask] = obj.material.albedo(flat[mask])
+        return out.reshape(points.shape)
+
+    def shade(self, points: np.ndarray, normals: np.ndarray,
+              view_dirs: np.ndarray) -> np.ndarray:
+        """Blinn-Phong radiance leaving ``points`` toward ``-view_dirs``.
+
+        ``view_dirs`` point from camera toward the surface.  Diffuse shading
+        is view-independent; the specular lobe adds the view dependence that
+        the baked NeRF fields approximate with spherical harmonics.
+        """
+        points = np.asarray(points, dtype=float)
+        flat_p = points.reshape(-1, 3)
+        flat_n = np.asarray(normals, dtype=float).reshape(-1, 3)
+        flat_v = np.asarray(view_dirs, dtype=float).reshape(-1, 3)
+        idx = self.object_index(flat_p)
+
+        color = np.zeros_like(flat_p)
+        for i, obj in enumerate(self.objects):
+            mask = idx == i
+            if not mask.any():
+                continue
+            albedo = obj.material.albedo(flat_p[mask])
+            shaded = self.ambient * albedo
+            for light in self.lights:
+                ndotl = np.clip(-flat_n[mask] @ light.direction, 0.0, 1.0)
+                shaded = shaded + albedo * light.color * (light.intensity * ndotl)[..., None]
+                if obj.material.specular > 0.0:
+                    half = -(light.direction + flat_v[mask])
+                    half_norm = np.linalg.norm(half, axis=-1, keepdims=True)
+                    half = half / np.where(half_norm < 1e-12, 1.0, half_norm)
+                    spec = np.clip((flat_n[mask] * half).sum(axis=-1), 0.0, 1.0)
+                    spec = spec ** obj.material.shininess
+                    shaded = shaded + obj.material.specular * light.intensity * (
+                        light.color * spec[..., None])
+            color[mask] = shaded
+        return np.clip(color, 0.0, 1.0).reshape(points.shape)
+
+    def diffuse_radiance(self, points: np.ndarray) -> np.ndarray:
+        """View-independent part of the radiance (used for grid baking)."""
+        points = np.asarray(points, dtype=float)
+        flat_p = points.reshape(-1, 3)
+        normals = self.normals(flat_p)
+        idx = self.object_index(flat_p)
+        color = np.zeros_like(flat_p)
+        for i, obj in enumerate(self.objects):
+            mask = idx == i
+            if not mask.any():
+                continue
+            albedo = obj.material.albedo(flat_p[mask])
+            shaded = self.ambient * albedo
+            for light in self.lights:
+                ndotl = np.clip(-normals[mask] @ light.direction, 0.0, 1.0)
+                shaded = shaded + albedo * light.color * (light.intensity * ndotl)[..., None]
+            color[mask] = shaded
+        return np.clip(color, 0.0, 1.0).reshape(points.shape)
+
+
+class _CombinedSDF(SDF):
+    """Adapter exposing a Scene's min-distance as a single SDF."""
+
+    def __init__(self, scene: Scene):
+        self._scene = scene
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        return self._scene.distance(points)

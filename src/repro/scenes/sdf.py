@@ -1,0 +1,215 @@
+"""Signed-distance-field primitives and CSG combinators.
+
+The procedural scenes that stand in for Synthetic-NeRF / Tanks-and-Temples
+are built from these analytic SDFs.  Having exact geometry gives the
+reproduction an exact ground truth: the sphere-tracing renderer in
+:mod:`repro.scenes.raytracer` produces reference images and depth maps, and
+the NeRF fields in :mod:`repro.nerf` are baked from the same SDFs.
+
+All primitives implement ``distance(points) -> (N,)`` for (N, 3) inputs, and
+are vectorised NumPy throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "SDF",
+    "Sphere",
+    "Box",
+    "Torus",
+    "Plane",
+    "Cylinder",
+    "Union",
+    "Intersection",
+    "Subtraction",
+    "SmoothUnion",
+    "Translated",
+    "Scaled",
+    "estimate_normals",
+]
+
+
+class SDF:
+    """Base class for signed distance fields."""
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # CSG sugar -------------------------------------------------------------
+
+    def __or__(self, other: "SDF") -> "SDF":
+        return Union([self, other])
+
+    def __and__(self, other: "SDF") -> "SDF":
+        return Intersection([self, other])
+
+    def __sub__(self, other: "SDF") -> "SDF":
+        return Subtraction(self, other)
+
+    def translated(self, offset) -> "SDF":
+        return Translated(self, np.asarray(offset, dtype=float))
+
+    def scaled(self, factor: float) -> "SDF":
+        return Scaled(self, float(factor))
+
+
+@dataclass
+class Sphere(SDF):
+    """Sphere of ``radius`` centred at ``center``."""
+
+    center: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    radius: float = 1.0
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        return np.linalg.norm(points - np.asarray(self.center), axis=-1) - self.radius
+
+
+@dataclass
+class Box(SDF):
+    """Axis-aligned box with half-extents ``half_size`` centred at ``center``."""
+
+    center: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    half_size: np.ndarray = field(default_factory=lambda: np.ones(3))
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        q = np.abs(points - np.asarray(self.center)) - np.asarray(self.half_size)
+        outside = np.linalg.norm(np.maximum(q, 0.0), axis=-1)
+        inside = np.minimum(q.max(axis=-1), 0.0)
+        return outside + inside
+
+
+@dataclass
+class Torus(SDF):
+    """Torus in the xz-plane: major radius ``major``, tube radius ``minor``."""
+
+    center: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    major: float = 1.0
+    minor: float = 0.25
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        p = points - np.asarray(self.center)
+        ring = np.sqrt(p[..., 0] ** 2 + p[..., 2] ** 2) - self.major
+        return np.sqrt(ring**2 + p[..., 1] ** 2) - self.minor
+
+
+@dataclass
+class Plane(SDF):
+    """Half-space below the plane ``dot(normal, p) = offset``."""
+
+    normal: np.ndarray = field(default_factory=lambda: np.array([0.0, 1.0, 0.0]))
+    offset: float = 0.0
+
+    def __post_init__(self):
+        normal = np.asarray(self.normal, dtype=float)
+        self.normal = normal / np.linalg.norm(normal)
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        return points @ self.normal - self.offset
+
+
+@dataclass
+class Cylinder(SDF):
+    """Finite vertical (y-axis) cylinder."""
+
+    center: np.ndarray = field(default_factory=lambda: np.zeros(3))
+    radius: float = 0.5
+    half_height: float = 1.0
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        p = points - np.asarray(self.center)
+        radial = np.sqrt(p[..., 0] ** 2 + p[..., 2] ** 2) - self.radius
+        axial = np.abs(p[..., 1]) - self.half_height
+        q = np.stack([radial, axial], axis=-1)
+        outside = np.linalg.norm(np.maximum(q, 0.0), axis=-1)
+        inside = np.minimum(q.max(axis=-1), 0.0)
+        return outside + inside
+
+
+@dataclass
+class Union(SDF):
+    """CSG union: minimum of child distances."""
+
+    children: list
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        dists = [child.distance(points) for child in self.children]
+        return np.minimum.reduce(dists)
+
+
+@dataclass
+class Intersection(SDF):
+    """CSG intersection: maximum of child distances."""
+
+    children: list
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        dists = [child.distance(points) for child in self.children]
+        return np.maximum.reduce(dists)
+
+
+@dataclass
+class Subtraction(SDF):
+    """CSG subtraction: ``base`` minus ``cut``."""
+
+    base: SDF
+    cut: SDF
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        return np.maximum(self.base.distance(points), -self.cut.distance(points))
+
+
+@dataclass
+class SmoothUnion(SDF):
+    """Polynomial smooth-min union with blend radius ``k``."""
+
+    a: SDF
+    b: SDF
+    k: float = 0.1
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        da = self.a.distance(points)
+        db = self.b.distance(points)
+        h = np.clip(0.5 + 0.5 * (db - da) / self.k, 0.0, 1.0)
+        return db * (1.0 - h) + da * h - self.k * h * (1.0 - h)
+
+
+@dataclass
+class Translated(SDF):
+    """Child SDF rigidly translated by ``offset``."""
+
+    child: SDF
+    offset: np.ndarray
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        return self.child.distance(points - self.offset)
+
+
+@dataclass
+class Scaled(SDF):
+    """Child SDF uniformly scaled about the origin."""
+
+    child: SDF
+    factor: float
+
+    def distance(self, points: np.ndarray) -> np.ndarray:
+        return self.child.distance(points / self.factor) * self.factor
+
+
+def estimate_normals(sdf: SDF, points: np.ndarray, eps: float = 1e-4) -> np.ndarray:
+    """Central-difference surface normals of an SDF at ``points``."""
+    points = np.asarray(points, dtype=float)
+    offsets = np.eye(3) * eps
+    grads = np.stack(
+        [
+            sdf.distance(points + offsets[i]) - sdf.distance(points - offsets[i])
+            for i in range(3)
+        ],
+        axis=-1,
+    )
+    norms = np.linalg.norm(grads, axis=-1, keepdims=True)
+    norms = np.where(norms < 1e-12, 1.0, norms)
+    return grads / norms

@@ -1,0 +1,77 @@
+"""Shared fixtures: small-scale scenes, fields, and renders.
+
+Everything here is session-scoped and built at the FAST experiment scale so
+the whole suite reuses one set of baked artefacts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import Intrinsics, PinholeCamera, look_at
+from repro.harness.configs import FAST, build_renderer, ground_truth_sequence
+from repro.nerf import NeRFRenderer, OccupancyGrid, UniformSampler, VoxelGridField
+from repro.scenes import RayTracer, get_scene
+
+
+@pytest.fixture(scope="session")
+def lego_scene():
+    return get_scene("lego")
+
+
+@pytest.fixture(scope="session")
+def small_camera():
+    """48x48 camera looking at the origin from a generic viewpoint."""
+    return PinholeCamera(Intrinsics.from_fov(48, 48, 45.0),
+                         look_at([3.0, 1.0, 0.5], [0.0, 0.0, 0.0]))
+
+
+@pytest.fixture(scope="session")
+def gt_frame(lego_scene, small_camera):
+    return RayTracer(lego_scene).render(small_camera)
+
+
+@pytest.fixture(scope="session")
+def small_field(lego_scene):
+    """A 32^3 baked voxel-grid field of the lego scene."""
+    return VoxelGridField.bake(lego_scene, resolution=32)
+
+
+@pytest.fixture(scope="session")
+def small_renderer(lego_scene, small_field):
+    occupancy = OccupancyGrid.from_field(small_field, resolution=24)
+    return NeRFRenderer(small_field, UniformSampler(48, occupancy=occupancy),
+                        background=lego_scene.background)
+
+
+@pytest.fixture(scope="session")
+def nerf_frame(small_renderer, small_camera):
+    frame, out = small_renderer.render_frame(small_camera, record_gather=True)
+    return frame, out
+
+
+@pytest.fixture(scope="session")
+def gather_groups(nerf_frame):
+    return nerf_frame[1].gather_groups
+
+
+@pytest.fixture(scope="session")
+def fast_config():
+    return FAST
+
+
+@pytest.fixture(scope="session")
+def fast_sequence():
+    """(trajectory, ground-truth frames) at the FAST scale, cached."""
+    return ground_truth_sequence("lego", FAST)
+
+
+@pytest.fixture(scope="session")
+def fast_renderer():
+    return build_renderer("directvoxgo", "lego", FAST)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,76 @@
+"""Tests for warped/rendered seam blending (paper Sec. VIII extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sparw import blend_seams, seam_band
+
+
+def _half_split(height=10, width=10):
+    warped = np.zeros((height, width), dtype=bool)
+    rendered = np.zeros((height, width), dtype=bool)
+    warped[:, :5] = True
+    rendered[:, 5:] = True
+    warped_img = np.zeros((height, width, 3))
+    nerf_img = np.ones((height, width, 3))
+    return warped_img, nerf_img, warped, rendered
+
+
+class TestSeamBand:
+    def test_band_straddles_seam(self):
+        _, _, warped, rendered = _half_split()
+        band = seam_band(warped, rendered, band=2)
+        assert band[:, 3:7].all()
+        assert not band[:, 0].any()
+        assert not band[:, 9].any()
+
+    def test_zero_band(self):
+        _, _, warped, rendered = _half_split()
+        assert not seam_band(warped, rendered, band=0).any()
+
+    def test_no_seam_no_band(self):
+        warped = np.zeros((6, 6), dtype=bool)
+        rendered = np.zeros((6, 6), dtype=bool)
+        warped[:2, :] = True  # rendered empty: no seam
+        assert not seam_band(warped, rendered, band=2).any()
+
+
+class TestBlend:
+    def test_away_from_seam_untouched(self):
+        warped_img, nerf_img, warped, rendered = _half_split()
+        result = blend_seams(warped_img, nerf_img, warped, rendered, band=2)
+        np.testing.assert_allclose(result.image[:, 0], 0.0)
+        np.testing.assert_allclose(result.image[:, 9], 1.0)
+
+    def test_seam_pixels_mixed(self):
+        warped_img, nerf_img, warped, rendered = _half_split()
+        result = blend_seams(warped_img, nerf_img, warped, rendered, band=2)
+        # Pixels adjacent to the seam carry a 50/50 mix.
+        np.testing.assert_allclose(result.image[:, 4], 0.5, atol=1e-9)
+        np.testing.assert_allclose(result.image[:, 5], 0.5, atol=1e-9)
+
+    def test_weights_monotone_across_band(self):
+        warped_img, nerf_img, warped, rendered = _half_split(10, 12)
+        result = blend_seams(warped_img, nerf_img, warped, rendered, band=3)
+        row = result.image[5, :, 0]
+        assert (np.diff(row) >= -1e-9).all(), "blend must ramp monotonically"
+
+    def test_extra_rendered_counted(self):
+        warped_img, nerf_img, warped, rendered = _half_split()
+        result = blend_seams(warped_img, nerf_img, warped, rendered, band=2)
+        # Two warped columns fall inside the band: 2 * height pixels.
+        assert result.extra_rendered == 2 * 10
+
+    def test_overlapping_masks_rejected(self):
+        warped_img, nerf_img, warped, rendered = _half_split()
+        bad = rendered.copy()
+        bad[:, 4] = True
+        with pytest.raises(ValueError):
+            blend_seams(warped_img, nerf_img, warped, bad)
+
+    def test_no_band_returns_hard_composite(self):
+        warped_img, nerf_img, warped, rendered = _half_split()
+        rendered[:] = False
+        result = blend_seams(warped_img, nerf_img, warped, rendered, band=2)
+        assert result.extra_rendered == 0
+        np.testing.assert_allclose(result.image[warped], 0.0)

@@ -1,0 +1,106 @@
+"""Tests for SPARW forward warping (steps 1-3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sparw import VOID_FAR_DEPTH, warp_frame
+from repro.geometry import rotation_angle_deg
+from repro.scenes import RayTracer, orbit_trajectory
+
+
+@pytest.fixture(scope="module")
+def orbit(lego_scene):
+    return orbit_trajectory(6, degrees_per_frame=1.0)
+
+
+@pytest.fixture(scope="module")
+def frames(lego_scene, small_camera, orbit):
+    tracer = RayTracer(lego_scene)
+    return [tracer.render(small_camera.with_pose(p)) for p in orbit.poses]
+
+
+class TestIdentityWarp:
+    def test_same_pose_reproduces_frame(self, frames, small_camera, orbit):
+        ref = frames[0]
+        cam = small_camera.with_pose(orbit[0])
+        warp = warp_frame(ref, cam, cam)
+        covered = warp.covered
+        assert covered.mean() > 0.9 * ref.hit.mean()
+        np.testing.assert_allclose(warp.image[covered],
+                                   ref.image[covered], atol=0.05)
+
+    def test_identity_warp_angle_zero(self, frames, small_camera, orbit):
+        cam = small_camera.with_pose(orbit[0])
+        warp = warp_frame(frames[0], cam, cam)
+        assert warp.warp_angle_deg[warp.covered].max() < 0.01
+
+    def test_void_pixels_classified(self, frames, small_camera, orbit):
+        cam = small_camera.with_pose(orbit[0])
+        warp = warp_frame(frames[0], cam, cam)
+        # Background pixels in the reference must come back as void.
+        bg = ~frames[0].hit
+        assert warp.void[bg].mean() > 0.95
+
+
+class TestAdjacentWarp:
+    def test_high_coverage(self, frames, small_camera, orbit):
+        warp = warp_frame(frames[0], small_camera.with_pose(orbit[0]),
+                          small_camera.with_pose(orbit[1]))
+        assert warp.hole_mask.mean() < 0.06
+
+    def test_warped_colors_match_target_render(self, frames, small_camera,
+                                               orbit):
+        warp = warp_frame(frames[0], small_camera.with_pose(orbit[0]),
+                          small_camera.with_pose(orbit[1]))
+        target = frames[1]
+        both = warp.covered & target.hit
+        err = np.abs(warp.image[both] - target.image[both]).mean()
+        assert err < 0.08
+
+    def test_depth_consistent_with_target(self, frames, small_camera, orbit):
+        warp = warp_frame(frames[0], small_camera.with_pose(orbit[0]),
+                          small_camera.with_pose(orbit[1]))
+        target = frames[1]
+        both = warp.covered & target.hit
+        err = np.abs(warp.depth[both] - target.depth[both])
+        assert np.median(err) < 0.05
+
+    def test_warp_angle_scales_with_pose_delta(self, frames, small_camera,
+                                               orbit):
+        near = warp_frame(frames[0], small_camera.with_pose(orbit[0]),
+                          small_camera.with_pose(orbit[1]))
+        far = warp_frame(frames[0], small_camera.with_pose(orbit[0]),
+                         small_camera.with_pose(orbit[5]))
+        assert (far.warp_angle_deg[far.covered].mean()
+                > near.warp_angle_deg[near.covered].mean())
+
+    def test_hole_mask_disjoint_from_covered_and_void(self, frames,
+                                                      small_camera, orbit):
+        warp = warp_frame(frames[0], small_camera.with_pose(orbit[0]),
+                          small_camera.with_pose(orbit[2]))
+        assert not (warp.covered & warp.void).any()
+        assert not (warp.hole_mask & warp.covered).any()
+        assert not (warp.hole_mask & warp.void).any()
+
+
+class TestPinholeFilling:
+    def test_filling_reduces_holes(self, frames, small_camera, orbit):
+        raw = warp_frame(frames[0], small_camera.with_pose(orbit[0]),
+                         small_camera.with_pose(orbit[2]),
+                         fill_pinholes=False)
+        filled = warp_frame(frames[0], small_camera.with_pose(orbit[0]),
+                            small_camera.with_pose(orbit[2]),
+                            fill_pinholes=True)
+        assert filled.hole_mask.sum() <= raw.hole_mask.sum()
+
+    def test_resolution_mismatch_rejected(self, frames, small_camera, orbit):
+        bad_camera = small_camera.scaled(0.5).with_pose(orbit[0])
+        with pytest.raises(ValueError):
+            warp_frame(frames[0], bad_camera,
+                       small_camera.with_pose(orbit[1]))
+
+
+class TestVoidFarPlane:
+    def test_far_depth_constant_is_far(self, frames):
+        assert VOID_FAR_DEPTH > 100.0 * np.nanmax(
+            np.where(np.isfinite(frames[0].depth), frames[0].depth, 0.0))

@@ -1,0 +1,117 @@
+"""Tests for ray bundles and AABB intersection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Intrinsics, PinholeCamera, RayBundle, intersect_aabb, look_at
+
+BOX_MIN = np.array([-1.0, -1.0, -1.0])
+BOX_MAX = np.array([1.0, 1.0, 1.0])
+
+
+class TestIntersectAABB:
+    def test_ray_through_center_hits(self):
+        t_near, t_far, hit = intersect_aabb(
+            np.array([[0.0, 0.0, -5.0]]), np.array([[0.0, 0.0, 1.0]]),
+            BOX_MIN, BOX_MAX)
+        assert hit[0]
+        assert t_near[0] == pytest.approx(4.0)
+        assert t_far[0] == pytest.approx(6.0)
+
+    def test_ray_missing_box(self):
+        _, _, hit = intersect_aabb(
+            np.array([[0.0, 5.0, -5.0]]), np.array([[0.0, 0.0, 1.0]]),
+            BOX_MIN, BOX_MAX)
+        assert not hit[0]
+
+    def test_ray_starting_inside(self):
+        t_near, t_far, hit = intersect_aabb(
+            np.array([[0.0, 0.0, 0.0]]), np.array([[1.0, 0.0, 0.0]]),
+            BOX_MIN, BOX_MAX, near=0.0)
+        assert hit[0]
+        assert t_near[0] == pytest.approx(0.0)
+        assert t_far[0] == pytest.approx(1.0)
+
+    def test_axis_aligned_ray_with_zero_components(self):
+        """Zero direction components must not poison the slab test."""
+        t_near, t_far, hit = intersect_aabb(
+            np.array([[0.5, 0.5, -3.0]]), np.array([[0.0, 0.0, 1.0]]),
+            BOX_MIN, BOX_MAX)
+        assert hit[0]
+        assert t_near[0] == pytest.approx(2.0)
+
+    def test_zero_component_outside_slab_misses(self):
+        _, _, hit = intersect_aabb(
+            np.array([[5.0, 0.0, -3.0]]), np.array([[0.0, 0.0, 1.0]]),
+            BOX_MIN, BOX_MAX)
+        assert not hit[0]
+
+    def test_far_clip(self):
+        _, _, hit = intersect_aabb(
+            np.array([[0.0, 0.0, -5.0]]), np.array([[0.0, 0.0, 1.0]]),
+            BOX_MIN, BOX_MAX, far=3.0)
+        assert not hit[0]
+
+    def test_ray_pointing_away(self):
+        _, _, hit = intersect_aabb(
+            np.array([[0.0, 0.0, -5.0]]), np.array([[0.0, 0.0, -1.0]]),
+            BOX_MIN, BOX_MAX, near=0.0)
+        assert not hit[0]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ox=st.floats(-4, 4), oy=st.floats(-4, 4), oz=st.floats(-4, 4),
+        dx=st.floats(-1, 1), dy=st.floats(-1, 1), dz=st.floats(-1, 1),
+    )
+    def test_entry_point_is_inside_box(self, ox, oy, oz, dx, dy, dz):
+        direction = np.array([dx, dy, dz])
+        norm = np.linalg.norm(direction)
+        if norm < 1e-3:
+            return
+        direction = direction / norm
+        origin = np.array([ox, oy, oz])
+        t_near, t_far, hit = intersect_aabb(origin[None], direction[None],
+                                            BOX_MIN, BOX_MAX, near=0.0)
+        if hit[0]:
+            mid = origin + 0.5 * (t_near[0] + t_far[0]) * direction
+            assert (mid >= BOX_MIN - 1e-6).all()
+            assert (mid <= BOX_MAX + 1e-6).all()
+
+
+class TestRayBundle:
+    @pytest.fixture
+    def camera(self):
+        return PinholeCamera(Intrinsics.from_fov(8, 8, 45.0),
+                             look_at([0, 0, -3], [0, 0, 0]))
+
+    def test_from_camera_counts(self, camera):
+        bundle = RayBundle.from_camera(camera)
+        assert len(bundle) == 64
+        assert bundle.pixel_ids is not None
+        np.testing.assert_array_equal(bundle.pixel_ids, np.arange(64))
+
+    def test_from_camera_pixels_matches_full(self, camera):
+        full = RayBundle.from_camera(camera)
+        subset_ids = np.array([0, 13, 37, 63])
+        subset = RayBundle.from_camera_pixels(camera, subset_ids)
+        np.testing.assert_allclose(subset.directions,
+                                   full.directions[subset_ids], atol=1e-12)
+
+    def test_select_by_mask(self, camera):
+        bundle = RayBundle.from_camera(camera)
+        mask = np.zeros(64, dtype=bool)
+        mask[[1, 5]] = True
+        sub = bundle.select(mask)
+        assert len(sub) == 2
+        np.testing.assert_array_equal(sub.pixel_ids, [1, 5])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RayBundle(origins=np.zeros((4, 3)), directions=np.zeros((5, 3)))
+
+    def test_pixel_id_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RayBundle(origins=np.zeros((4, 3)), directions=np.zeros((4, 3)),
+                      pixel_ids=np.arange(3))

@@ -1,0 +1,33 @@
+"""Tests for the CLI experiment runner."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+class TestParser:
+    def test_figure_argument(self):
+        args = build_parser().parse_args(["fig07"])
+        assert args.figure == "fig07"
+        assert not args.fast
+
+    def test_fast_flag(self):
+        args = build_parser().parse_args(["fig07", "--fast"])
+        assert args.fast
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig07" in out and "fig26" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_runs_cheap_figure_fast(self, capsys):
+        assert main(["fig23", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "fig23" in out
+        assert "vft_kb" in out

@@ -1,0 +1,75 @@
+"""Tests for workload descriptors and their construction from render stats."""
+
+import pytest
+
+from repro.hw import FrameWorkload, GatherTraffic, workload_from_stats
+from repro.nerf import RenderStats
+
+
+class TestGatherTraffic:
+    def test_totals(self):
+        traffic = GatherTraffic(100.0, 50.0)
+        assert traffic.total_bytes == 150.0
+
+    def test_scaled(self):
+        traffic = GatherTraffic(100.0, 50.0).scaled(0.5)
+        assert traffic.streaming_bytes == 50.0
+        assert traffic.random_bytes == 25.0
+
+
+class TestWorkloadFromStats:
+    @pytest.fixture
+    def stats(self):
+        return RenderStats(num_rays=100, num_samples=5000,
+                           mlp_macs=5000 * 2000,
+                           gather_vertex_accesses=40000,
+                           gather_bytes=40000 * 32)
+
+    def test_basic_mapping(self, stats):
+        wl = workload_from_stats(stats)
+        assert wl.num_rays == 100
+        assert wl.num_samples == 5000
+        assert wl.vertices_per_sample == pytest.approx(8.0)
+
+    def test_without_report_all_random(self, stats):
+        wl = workload_from_stats(stats)
+        assert wl.baseline_traffic.random_bytes == stats.gather_bytes
+        assert wl.baseline_traffic.streaming_bytes == 0.0
+
+    def test_with_report_traffic_copied(self, stats, gather_groups):
+        from repro.core.streaming import FullyStreamingScheduler
+        report = FullyStreamingScheduler(
+            baseline_cache_bytes=None).analyze(gather_groups)
+        wl = workload_from_stats(stats, streaming_report=report)
+        assert wl.streaming_traffic.streaming_bytes == report.fs_streaming_bytes
+        assert wl.rit_bytes == sum(g.rit_bytes for g in report.groups)
+
+    def test_conflict_slowdown_passthrough(self, stats):
+        wl = workload_from_stats(stats, conflict_slowdown=3.5)
+        assert wl.gather_conflict_slowdown == 3.5
+
+    def test_warp_points_passthrough(self, stats):
+        wl = workload_from_stats(stats, warp_points=9216)
+        assert wl.warp_points == 9216
+
+    def test_empty_stats_safe(self):
+        wl = workload_from_stats(RenderStats())
+        assert wl.num_samples == 0
+        assert wl.vertices_per_sample == 8.0  # default retained
+
+
+class TestWorkloadMergeScale:
+    def test_merge_empty_with_nonempty(self):
+        a = FrameWorkload(num_samples=100, gather_accesses=800,
+                          gather_conflict_slowdown=2.0)
+        b = FrameWorkload()
+        merged = a.merge(b)
+        assert merged.num_samples == 100
+        assert merged.gather_conflict_slowdown == 2.0
+
+    def test_scale_zero(self):
+        wl = FrameWorkload(num_samples=100, mlp_macs=1000,
+                           baseline_traffic=GatherTraffic(10.0, 20.0))
+        zero = wl.scaled(0.0)
+        assert zero.num_samples == 0
+        assert zero.baseline_traffic.total_bytes == 0.0

@@ -1,0 +1,89 @@
+"""Tests for quality metrics and summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    mean_psnr,
+    mse,
+    normalize_to,
+    psnr,
+    psnr_sequence,
+    speedup,
+)
+
+
+class TestMSEPSNR:
+    def test_identical_images(self):
+        img = np.random.default_rng(0).uniform(size=(8, 8, 3))
+        assert mse(img, img) == 0.0
+        assert psnr(img, img) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((4, 4, 3))
+        b = np.full((4, 4, 3), 0.1)
+        assert mse(a, b) == pytest.approx(0.01)
+        assert psnr(a, b) == pytest.approx(20.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((4, 4, 3)), np.zeros((5, 4, 3)))
+
+    def test_masked(self):
+        a = np.zeros((4, 4, 3))
+        b = np.zeros((4, 4, 3))
+        b[0, 0] = 1.0
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[1:, :] = True
+        assert mse(a, b, mask=mask) == 0.0
+        assert mse(a, b) > 0.0
+
+    def test_empty_mask(self):
+        a = np.zeros((4, 4, 3))
+        assert mse(a, a, mask=np.zeros((4, 4), dtype=bool)) == 0.0
+
+    def test_sequence_helpers(self):
+        a = [np.zeros((4, 4, 3))] * 3
+        b = [np.full((4, 4, 3), 0.1)] * 3
+        per_frame = psnr_sequence(a, b)
+        assert len(per_frame) == 3
+        assert mean_psnr(a, b) == pytest.approx(20.0)
+
+    def test_sequence_length_mismatch(self):
+        with pytest.raises(ValueError):
+            psnr_sequence([np.zeros((2, 2, 3))], [])
+
+    def test_mean_psnr_pools_mse(self):
+        """Pooled PSNR differs from averaging per-frame PSNRs."""
+        a = [np.zeros((2, 2, 3)), np.zeros((2, 2, 3))]
+        b = [np.full((2, 2, 3), 0.1), np.full((2, 2, 3), 0.2)]
+        pooled = mean_psnr(a, b)
+        expected = 10 * np.log10(1.0 / np.mean([0.01, 0.04]))
+        assert pooled == pytest.approx(expected)
+
+
+class TestStats:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 3.0]) == pytest.approx(2.0)
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            speedup(10.0, 0.0)
+
+    def test_normalize_to(self):
+        out = normalize_to({"a": 2.0, "b": 6.0}, "a")
+        assert out == {"a": 1.0, "b": 3.0}
+        with pytest.raises(ValueError):
+            normalize_to({"a": 0.0, "b": 1.0}, "a")

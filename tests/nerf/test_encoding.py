@@ -1,0 +1,56 @@
+"""Tests for positional and spherical-harmonics encodings."""
+
+import numpy as np
+import pytest
+
+from repro.nerf import frequency_encoding, sh_basis_deg1
+
+
+class TestFrequencyEncoding:
+    def test_output_dim(self):
+        x = np.zeros((5, 3))
+        out = frequency_encoding(x, num_frequencies=4)
+        assert out.shape == (5, 3 * (1 + 2 * 4))
+
+    def test_without_input_passthrough(self):
+        x = np.zeros((5, 3))
+        out = frequency_encoding(x, num_frequencies=2, include_input=False)
+        assert out.shape == (5, 3 * 4)
+
+    def test_zero_maps_to_zero_sines(self):
+        out = frequency_encoding(np.zeros((1, 2)), num_frequencies=1)
+        np.testing.assert_allclose(out[0, :2], 0.0)  # passthrough
+        np.testing.assert_allclose(out[0, 2:4], 0.0)  # sin(0)
+        np.testing.assert_allclose(out[0, 4:6], 1.0)  # cos(0)
+
+    def test_octave_frequencies(self):
+        x = np.array([[0.25]])
+        out = frequency_encoding(x, num_frequencies=2, include_input=False)
+        np.testing.assert_allclose(out[0, 0], np.sin(0.25 * np.pi))
+        np.testing.assert_allclose(out[0, 2], np.sin(0.5 * np.pi))
+
+
+class TestSHBasis:
+    def test_shape_and_constant_term(self):
+        dirs = np.array([[0.0, 0.0, 1.0], [1.0, 0.0, 0.0]])
+        basis = sh_basis_deg1(dirs)
+        assert basis.shape == (2, 4)
+        np.testing.assert_allclose(basis[:, 0], 0.28209479177387814)
+
+    def test_linear_terms_track_direction(self):
+        z = sh_basis_deg1(np.array([[0.0, 0.0, 1.0]]))
+        assert z[0, 2] == pytest.approx(0.4886025119029199)
+        assert z[0, 1] == pytest.approx(0.0)
+        assert z[0, 3] == pytest.approx(0.0)
+
+    def test_antipodal_flips_linear_terms(self):
+        d = np.array([[0.3, -0.5, 0.8]])
+        a = sh_basis_deg1(d)
+        b = sh_basis_deg1(-d)
+        np.testing.assert_allclose(a[:, 1:], -b[:, 1:], atol=1e-12)
+        np.testing.assert_allclose(a[:, 0], b[:, 0])
+
+    def test_unnormalized_input_normalized(self):
+        a = sh_basis_deg1(np.array([[0.0, 0.0, 10.0]]))
+        b = sh_basis_deg1(np.array([[0.0, 0.0, 1.0]]))
+        np.testing.assert_allclose(a, b, atol=1e-12)

@@ -1,0 +1,112 @@
+"""Tests for N-linear interpolation setup (Indexing stage)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nerf.fields.interp import (
+    bilinear_setup,
+    flatten_index,
+    linear_setup,
+    trilinear_setup,
+)
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestFlattenIndex:
+    def test_row_major(self):
+        idx = np.array([[1, 2, 3]])
+        assert flatten_index(idx, (4, 5, 6))[0] == 1 * 30 + 2 * 6 + 3
+
+    def test_2d(self):
+        idx = np.array([[2, 3]])
+        assert flatten_index(idx, (5, 7))[0] == 2 * 7 + 3
+
+
+class TestTrilinear:
+    def test_weights_sum_to_one(self):
+        coords = np.random.default_rng(0).uniform(size=(100, 3))
+        _, _, weights = trilinear_setup(coords, 8)
+        np.testing.assert_allclose(weights.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_vertex_coordinate_gives_single_weight(self):
+        coords = np.array([[0.25, 0.5, 0.75]])  # exact vertex of an 8-grid
+        _, vertex_ids, weights = trilinear_setup(coords, 8)
+        assert weights.max() == pytest.approx(1.0)
+
+    def test_cell_ids_in_range(self):
+        coords = np.random.default_rng(1).uniform(size=(200, 3))
+        cell_ids, vertex_ids, _ = trilinear_setup(coords, 8)
+        assert (cell_ids >= 0).all() and (cell_ids < 8**3).all()
+        assert (vertex_ids >= 0).all() and (vertex_ids < 9**3).all()
+
+    def test_boundary_coordinate_clamped(self):
+        cell_ids, vertex_ids, weights = trilinear_setup(
+            np.array([[1.0, 1.0, 1.0]]), 8)
+        assert cell_ids[0] == 8**3 - 1
+        assert (vertex_ids[0] < 9**3).all()
+        np.testing.assert_allclose(weights.sum(), 1.0)
+
+    def test_corner_offsets_structure(self):
+        """Vertex ids of one sample must be the 8 corners of its cell."""
+        _, vertex_ids, _ = trilinear_setup(np.array([[0.1, 0.1, 0.1]]), 4)
+        side = 5
+        base = vertex_ids[0, 0]
+        expected = [base + dz + dy * side + dx * side * side
+                    for dx in (0, 1) for dy in (0, 1) for dz in (0, 1)]
+        np.testing.assert_array_equal(np.sort(vertex_ids[0]),
+                                      np.sort(expected))
+
+    @settings(max_examples=40, deadline=None)
+    @given(x=unit, y=unit, z=unit)
+    def test_interpolates_linear_functions_exactly(self, x, y, z):
+        """Trilinear weights must reproduce any linear function exactly."""
+        resolution = 4
+        side = resolution + 1
+        grid = np.stack(np.meshgrid(np.arange(side), np.arange(side),
+                                    np.arange(side), indexing="ij"),
+                        axis=-1).reshape(-1, 3) / resolution
+        values = 2.0 * grid[:, 0] - 3.0 * grid[:, 1] + 0.5 * grid[:, 2] + 1.0
+        _, vertex_ids, weights = trilinear_setup(np.array([[x, y, z]]),
+                                                 resolution)
+        interp = (values[vertex_ids[0]] * weights[0]).sum()
+        expected = 2.0 * x - 3.0 * y + 0.5 * z + 1.0
+        assert interp == pytest.approx(expected, abs=1e-9)
+
+
+class TestBilinear:
+    def test_weights_sum_to_one(self):
+        coords = np.random.default_rng(2).uniform(size=(50, 2))
+        _, _, weights = bilinear_setup(coords, 8)
+        np.testing.assert_allclose(weights.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_four_vertices(self):
+        _, vertex_ids, _ = bilinear_setup(np.array([[0.3, 0.7]]), 8)
+        assert vertex_ids.shape == (1, 4)
+
+    def test_linear_exactness(self):
+        resolution = 6
+        side = resolution + 1
+        grid = np.stack(np.meshgrid(np.arange(side), np.arange(side),
+                                    indexing="ij"), axis=-1).reshape(-1, 2)
+        values = grid[:, 0] * 1.5 - grid[:, 1] * 0.5
+        _, vertex_ids, weights = bilinear_setup(np.array([[0.37, 0.61]]),
+                                                resolution)
+        interp = (values[vertex_ids[0]] * weights[0]).sum()
+        expected = 0.37 * resolution * 1.5 - 0.61 * resolution * 0.5
+        assert interp == pytest.approx(expected, abs=1e-9)
+
+
+class TestLinear:
+    def test_two_vertices_and_weights(self):
+        cell, vertices, weights = linear_setup(np.array([0.25]), 4)
+        assert cell[0] == 1
+        np.testing.assert_array_equal(vertices[0], [1, 2])
+        np.testing.assert_allclose(weights[0], [1.0, 0.0])
+
+    def test_boundary_clamp(self):
+        cell, vertices, weights = linear_setup(np.array([1.0]), 4)
+        assert cell[0] == 3
+        np.testing.assert_allclose(weights.sum(), 1.0)

@@ -1,0 +1,127 @@
+"""Tests for alpha-compositing volume rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nerf import composite
+
+
+def _single_ray(sigmas, rgbs, ts, delta=0.1):
+    n = len(sigmas)
+    return composite(
+        np.asarray(sigmas, dtype=float),
+        np.asarray(rgbs, dtype=float),
+        np.asarray(ts, dtype=float),
+        np.full(n, delta),
+        np.zeros(n, dtype=np.int64),
+        num_rays=1,
+    )
+
+
+class TestSingleRay:
+    def test_empty_space_is_transparent(self):
+        result = _single_ray([0.0, 0.0], [[1, 0, 0], [0, 1, 0]], [0.1, 0.2])
+        assert result.opacity[0] == pytest.approx(0.0)
+        np.testing.assert_allclose(result.rgb[0], 0.0)
+        assert np.isinf(result.depth[0])
+
+    def test_opaque_first_sample_wins(self):
+        result = _single_ray([1e6, 1e6], [[1, 0, 0], [0, 1, 0]], [1.0, 2.0])
+        np.testing.assert_allclose(result.rgb[0], [1.0, 0.0, 0.0], atol=1e-9)
+        assert result.depth[0] == pytest.approx(1.0)
+        assert result.opacity[0] == pytest.approx(1.0)
+
+    def test_alpha_formula(self):
+        sigma, delta = 3.0, 0.1
+        result = _single_ray([sigma], [[1, 1, 1]], [1.0], delta=delta)
+        expected = 1.0 - np.exp(-sigma * delta)
+        assert result.opacity[0] == pytest.approx(expected)
+
+    def test_two_sample_transmittance(self):
+        s = 5.0
+        result = _single_ray([s, s], [[1, 0, 0], [0, 1, 0]], [1.0, 2.0],
+                             delta=0.2)
+        alpha = 1.0 - np.exp(-s * 0.2)
+        w0, w1 = alpha, (1 - alpha) * alpha
+        np.testing.assert_allclose(result.rgb[0],
+                                   [w0 * 1.0, w1 * 1.0, 0.0], atol=1e-9)
+        assert result.depth[0] == pytest.approx(
+            (w0 * 1.0 + w1 * 2.0) / (w0 + w1))
+
+    def test_negative_sigma_treated_as_zero(self):
+        result = _single_ray([-5.0], [[1, 1, 1]], [1.0])
+        assert result.opacity[0] == pytest.approx(0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=50.0), min_size=1,
+                    max_size=16))
+    def test_opacity_bounded(self, sigmas):
+        n = len(sigmas)
+        result = _single_ray(sigmas, np.ones((n, 3)),
+                             np.linspace(1.0, 2.0, n))
+        assert 0.0 <= result.opacity[0] <= 1.0
+        assert (result.rgb >= 0.0).all() and (result.rgb <= 1.0).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=50.0), min_size=2,
+                    max_size=16))
+    def test_opacity_monotone_in_prefix(self, sigmas):
+        """Adding samples can only increase accumulated opacity."""
+        n = len(sigmas)
+        ts = np.linspace(1.0, 2.0, n)
+        full = _single_ray(sigmas, np.ones((n, 3)), ts)
+        partial = _single_ray(sigmas[:-1], np.ones((n - 1, 3)), ts[:-1])
+        assert full.opacity[0] >= partial.opacity[0] - 1e-9
+
+
+class TestMultiRay:
+    def test_rays_are_independent(self):
+        sigmas = np.array([1e6, 0.0])
+        rgbs = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        ts = np.array([1.0, 1.0])
+        deltas = np.array([0.1, 0.1])
+        ray_index = np.array([0, 1])
+        result = composite(sigmas, rgbs, ts, deltas, ray_index, num_rays=2)
+        np.testing.assert_allclose(result.rgb[0], [1.0, 0.0, 0.0], atol=1e-9)
+        assert result.opacity[1] == pytest.approx(0.0)
+
+    def test_matches_per_ray_computation(self):
+        rng = np.random.default_rng(0)
+        per_ray = 12
+        sig_a = rng.uniform(0, 20, per_ray)
+        sig_b = rng.uniform(0, 20, per_ray)
+        rgb_a = rng.uniform(size=(per_ray, 3))
+        rgb_b = rng.uniform(size=(per_ray, 3))
+        ts = np.linspace(1.0, 2.0, per_ray)
+
+        batched = composite(
+            np.concatenate([sig_a, sig_b]),
+            np.concatenate([rgb_a, rgb_b]),
+            np.concatenate([ts, ts]),
+            np.full(2 * per_ray, 0.08),
+            np.repeat([0, 1], per_ray),
+            num_rays=2,
+        )
+        solo_a = _single_ray(sig_a, rgb_a, ts, delta=0.08)
+        solo_b = _single_ray(sig_b, rgb_b, ts, delta=0.08)
+        np.testing.assert_allclose(batched.rgb[0], solo_a.rgb[0], atol=1e-9)
+        np.testing.assert_allclose(batched.rgb[1], solo_b.rgb[0], atol=1e-9)
+        np.testing.assert_allclose(batched.depth[1], solo_b.depth[0],
+                                   atol=1e-9)
+
+    def test_empty_rays_get_defaults(self):
+        result = composite(np.zeros(0), np.zeros((0, 3)), np.zeros(0),
+                           np.zeros(0), np.zeros(0, dtype=np.int64),
+                           num_rays=3)
+        assert result.rgb.shape == (3, 3)
+        assert np.isinf(result.depth).all()
+
+    def test_ray_without_samples_in_batch(self):
+        # Ray 1 has no samples at all (e.g. culled by occupancy).
+        result = composite(np.array([1e6]), np.array([[1.0, 1.0, 1.0]]),
+                           np.array([1.0]), np.array([0.1]),
+                           np.array([0]), num_rays=2)
+        assert result.opacity[0] == pytest.approx(1.0)
+        assert result.opacity[1] == pytest.approx(0.0)

@@ -1,0 +1,119 @@
+"""Tests for SDF primitives and CSG combinators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenes.sdf import (
+    Box,
+    Cylinder,
+    Plane,
+    Sphere,
+    Torus,
+    Union,
+    estimate_normals,
+)
+
+points3 = st.lists(
+    st.floats(min_value=-3.0, max_value=3.0, allow_nan=False), min_size=3,
+    max_size=3)
+
+
+class TestSphere:
+    def test_distance_signs(self):
+        s = Sphere(center=[0, 0, 0], radius=1.0)
+        d = s.distance(np.array([[0.0, 0.0, 0.0], [2.0, 0.0, 0.0],
+                                 [1.0, 0.0, 0.0]]))
+        assert d[0] == pytest.approx(-1.0)
+        assert d[1] == pytest.approx(1.0)
+        assert d[2] == pytest.approx(0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(p=points3)
+    def test_exact_metric(self, p):
+        s = Sphere(center=[0.5, -0.2, 0.1], radius=0.7)
+        d = s.distance(np.array([p]))
+        expected = np.linalg.norm(np.array(p) - [0.5, -0.2, 0.1]) - 0.7
+        assert d[0] == pytest.approx(expected, abs=1e-12)
+
+
+class TestBox:
+    def test_inside_negative(self):
+        b = Box(center=[0, 0, 0], half_size=[1, 1, 1])
+        assert b.distance(np.zeros((1, 3)))[0] == pytest.approx(-1.0)
+
+    def test_face_distance(self):
+        b = Box(center=[0, 0, 0], half_size=[1, 1, 1])
+        assert b.distance(np.array([[2.0, 0.0, 0.0]]))[0] == pytest.approx(1.0)
+
+    def test_corner_distance(self):
+        b = Box(center=[0, 0, 0], half_size=[1, 1, 1])
+        d = b.distance(np.array([[2.0, 2.0, 2.0]]))
+        assert d[0] == pytest.approx(np.sqrt(3.0))
+
+
+class TestOtherPrimitives:
+    def test_torus_ring_point_on_surface(self):
+        t = Torus(major=1.0, minor=0.25)
+        assert t.distance(np.array([[1.25, 0.0, 0.0]]))[0] == pytest.approx(0.0)
+
+    def test_plane_half_space(self):
+        p = Plane(normal=[0, 1, 0], offset=0.0)
+        assert p.distance(np.array([[0.0, 2.0, 0.0]]))[0] == pytest.approx(2.0)
+        assert p.distance(np.array([[0.0, -2.0, 0.0]]))[0] == pytest.approx(-2.0)
+
+    def test_plane_normalizes(self):
+        p = Plane(normal=[0, 2, 0])
+        np.testing.assert_allclose(p.normal, [0, 1, 0])
+
+    def test_cylinder_radial_and_axial(self):
+        c = Cylinder(radius=0.5, half_height=1.0)
+        assert c.distance(np.array([[1.5, 0.0, 0.0]]))[0] == pytest.approx(1.0)
+        assert c.distance(np.array([[0.0, 2.0, 0.0]]))[0] == pytest.approx(1.0)
+
+
+class TestCSG:
+    def test_union_is_min(self):
+        a = Sphere(center=[0, 0, 0], radius=1.0)
+        b = Sphere(center=[3, 0, 0], radius=1.0)
+        u = Union([a, b])
+        pts = np.array([[0.0, 0.0, 0.0], [3.0, 0.0, 0.0]])
+        np.testing.assert_allclose(u.distance(pts), [-1.0, -1.0])
+
+    def test_operator_or(self):
+        a = Sphere(radius=1.0)
+        b = Box(half_size=[0.5, 0.5, 0.5])
+        u = a | b
+        assert isinstance(u, Union)
+
+    def test_subtraction_removes_overlap(self):
+        base = Sphere(radius=1.0)
+        cut = Sphere(radius=0.5)
+        sub = base - cut
+        # Center is inside the cut -> outside the result.
+        assert sub.distance(np.zeros((1, 3)))[0] > 0
+
+    def test_translated(self):
+        s = Sphere(radius=1.0).translated([5.0, 0.0, 0.0])
+        assert s.distance(np.array([[5.0, 0.0, 0.0]]))[0] == pytest.approx(-1.0)
+
+    def test_scaled(self):
+        s = Sphere(radius=1.0).scaled(2.0)
+        assert s.distance(np.array([[2.0, 0.0, 0.0]]))[0] == pytest.approx(0.0)
+
+
+class TestNormals:
+    def test_sphere_normals_radial(self):
+        s = Sphere(radius=1.0)
+        pts = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        normals = estimate_normals(s, pts)
+        np.testing.assert_allclose(normals, pts, atol=1e-4)
+
+    def test_normals_unit_length(self):
+        b = Box(half_size=[0.5, 1.0, 0.7])
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(-2, 2, size=(50, 3))
+        normals = estimate_normals(b, pts)
+        np.testing.assert_allclose(np.linalg.norm(normals, axis=1), 1.0,
+                                   atol=1e-9)

@@ -1,0 +1,82 @@
+"""Tests for camera trajectories and FPS resampling."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    is_rotation_matrix,
+    pose_rotation,
+    pose_translation,
+    rotation_angle_deg,
+    translation_distance,
+)
+from repro.scenes import handheld_trajectory, orbit_trajectory, resample_fps
+
+
+class TestOrbit:
+    def test_length_and_fps(self):
+        traj = orbit_trajectory(30, fps=30.0)
+        assert len(traj) == 30
+        assert traj.frame_interval == pytest.approx(1.0 / 30.0)
+
+    def test_constant_radius(self):
+        traj = orbit_trajectory(20, radius=3.0, height=1.0, target=(0, 0, 0))
+        for pose in traj.poses:
+            position = pose_translation(pose)
+            radial = np.linalg.norm([position[0], position[2]])
+            assert radial == pytest.approx(3.0, abs=1e-9)
+            assert position[1] == pytest.approx(1.0)
+
+    def test_pose_delta_matches_degrees_per_frame(self):
+        traj = orbit_trajectory(10, degrees_per_frame=2.0)
+        angle = rotation_angle_deg(pose_rotation(traj[0]),
+                                   pose_rotation(traj[1]))
+        # Rotation between consecutive look-at poses tracks the orbit step.
+        assert angle == pytest.approx(2.0, abs=0.3)
+
+    def test_all_poses_valid(self):
+        traj = orbit_trajectory(15, degrees_per_frame=3.0)
+        for pose in traj.poses:
+            assert is_rotation_matrix(pose_rotation(pose), tol=1e-8)
+
+
+class TestHandheld:
+    def test_deterministic_in_seed(self):
+        a = handheld_trajectory(10, seed=5)
+        b = handheld_trajectory(10, seed=5)
+        for pa, pb in zip(a.poses, b.poses):
+            np.testing.assert_allclose(pa, pb)
+
+    def test_jitter_stays_small(self):
+        smooth = orbit_trajectory(20)
+        shaky = handheld_trajectory(20, jitter_translation=0.01)
+        for ps, ph in zip(smooth.poses, shaky.poses):
+            assert translation_distance(ps, ph) < 0.25
+
+    def test_consecutive_poses_close(self):
+        traj = handheld_trajectory(20, degrees_per_frame=0.5)
+        for a, b in zip(traj.poses, traj.poses[1:]):
+            assert translation_distance(a, b) < 0.2
+
+
+class TestResample:
+    def test_stride(self):
+        traj = orbit_trajectory(30, fps=30.0)
+        low = resample_fps(traj, 10.0)
+        assert len(low) == 10
+        assert low.fps == pytest.approx(10.0)
+        np.testing.assert_allclose(low[1], traj[3])
+
+    def test_1fps_from_30fps(self):
+        traj = orbit_trajectory(60, fps=30.0)
+        low = resample_fps(traj, 1.0)
+        assert len(low) == 2
+        # Pose deltas grow ~30x.
+        dense_step = translation_distance(traj[0], traj[1])
+        sparse_step = translation_distance(low[0], low[1])
+        assert sparse_step > 20 * dense_step
+
+    def test_upsampling_rejected(self):
+        traj = orbit_trajectory(10, fps=10.0)
+        with pytest.raises(ValueError):
+            resample_fps(traj, 30.0)
