@@ -9,7 +9,6 @@
     sparse work proportional to true disocclusion only.
 """
 
-import numpy as np
 from conftest import run_once
 
 from repro.core.sparw import classify_pixels, warp_frame

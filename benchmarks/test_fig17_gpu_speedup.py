@@ -4,7 +4,6 @@ Paper claims: software-only Cicero-16 achieves ~8x speed-up and energy
 saving over the GPU baseline; DS-2 only reaches ~4x.
 """
 
-import numpy as np
 from conftest import run_once
 
 from repro.harness import EXPERIMENTS, print_table

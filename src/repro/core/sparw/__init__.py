@@ -2,7 +2,12 @@
 
 from .blending import SeamBlendResult, blend_seams, seam_band
 from .disocclusion import PixelClassification, classify_pixels, overlap_fraction
-from .pipeline import SparwRenderer, SparwSequenceResult, TargetFrameRecord
+from .pipeline import (
+    RayRequest,
+    SparwRenderer,
+    SparwSequenceResult,
+    TargetFrameRecord,
+)
 from .reference import ExtrapolatedReferencePolicy, OnTrajectoryReferencePolicy
 from .warp import VOID_FAR_DEPTH, WarpResult, warp_frame
 
@@ -13,6 +18,7 @@ __all__ = [
     "PixelClassification",
     "classify_pixels",
     "overlap_fraction",
+    "RayRequest",
     "SparwRenderer",
     "SparwSequenceResult",
     "TargetFrameRecord",

@@ -27,7 +27,29 @@ from .disocclusion import PixelClassification, classify_pixels, overlap_fraction
 from .reference import ExtrapolatedReferencePolicy, OnTrajectoryReferencePolicy
 from .warp import WarpResult, warp_frame
 
-__all__ = ["TargetFrameRecord", "SparwSequenceResult", "SparwRenderer"]
+__all__ = ["RayRequest", "TargetFrameRecord", "SparwSequenceResult",
+           "SparwRenderer"]
+
+
+@dataclass
+class RayRequest:
+    """A NeRF ray workload emitted by :meth:`SparwRenderer.step`.
+
+    The driver must answer each request by ``send()``-ing back the
+    :class:`~repro.nerf.renderer.RenderOutput` of rendering exactly these
+    rays — either via ``renderer.render_rays`` (single-user path) or a
+    batched evaluation spanning many sessions
+    (:meth:`~repro.nerf.renderer.NeRFRenderer.render_ray_batch`).
+    """
+
+    kind: str  # "reference" (full frame) or "sparse" (disocclusion fill)
+    frame_index: int
+    origins: np.ndarray  # (N, 3)
+    directions: np.ndarray  # (N, 3)
+
+    @property
+    def num_rays(self) -> int:
+        return self.origins.shape[0]
 
 
 @dataclass
@@ -124,9 +146,28 @@ class SparwRenderer:
 
     def render_reference(self, pose: np.ndarray) -> tuple[Frame, RenderStats]:
         """Full-frame NeRF render at ``pose`` (the green path in Fig. 10)."""
+        return self._drive(self._reference_path(pose, frame_index=0))
+
+    def _reference_path(self, pose: np.ndarray, frame_index: int):
+        """Generator: yield the full-frame request, return (frame, stats)."""
         camera = self.camera.with_pose(pose)
-        frame, out = self.renderer.render_frame(camera)
-        return frame, out.stats
+        origins, directions = camera.generate_rays()
+        flat_d = directions.reshape(-1, 3)
+        out = yield RayRequest(kind="reference", frame_index=frame_index,
+                               origins=origins.reshape(-1, 3),
+                               directions=flat_d)
+        return self.renderer.compose_frame(camera, flat_d, out), out.stats
+
+    def _drive(self, gen):
+        """Run a path generator to completion with direct render calls."""
+        send_value = None
+        while True:
+            try:
+                event = gen.send(send_value)
+            except StopIteration as stop:
+                return stop.value
+            send_value = self.renderer.render_rays(event.origins,
+                                                   event.directions)
 
     # -- target path ------------------------------------------------------------
 
@@ -134,17 +175,50 @@ class SparwRenderer:
                       ) -> tuple[Frame, WarpResult, PixelClassification,
                                  RenderStats]:
         """Warp ``reference`` to ``pose`` and fill disocclusions sparsely."""
+        return self._drive(self._target_path(reference, pose, frame_index=0))
+
+    def _target_path(self, reference: Frame, pose: np.ndarray,
+                     frame_index: int):
+        """Generator for the lightweight path: warp, classify, sparse-fill.
+
+        Yields at most one sparse :class:`RayRequest`; returns
+        ``(frame, warp, classification, sparse_stats)``.  Shared by
+        :meth:`render_target` (direct rendering) and :meth:`step` (batched
+        engine driving), so the two paths cannot drift apart.
+        """
         ref_camera = self.camera.with_pose(reference.c2w)
         target_camera = self.camera.with_pose(pose)
         warp = warp_frame(reference, ref_camera, target_camera)
         classification = classify_pixels(warp, self.angle_threshold_deg)
 
+        pixel_ids = classification.rerender_pixel_ids()
+        if pixel_ids.size:
+            v, u = np.divmod(pixel_ids, target_camera.width)
+            origins, directions = target_camera.rays_for_pixels(u + 0.5,
+                                                                v + 0.5)
+            out = yield RayRequest(kind="sparse", frame_index=frame_index,
+                                   origins=origins, directions=directions)
+            colors, z = self.renderer.compose_pixels(target_camera,
+                                                     directions, out)
+            sparse_stats = out.stats
+        else:
+            colors = np.zeros((0, 3))
+            z = np.zeros(0)
+            sparse_stats = RenderStats()
+
+        frame = self._assemble_target(warp, classification, target_camera,
+                                      pixel_ids, colors, z)
+        return frame, warp, classification, sparse_stats
+
+    def _assemble_target(self, warp: WarpResult,
+                         classification: PixelClassification,
+                         target_camera: PinholeCamera, pixel_ids: np.ndarray,
+                         colors: np.ndarray, z: np.ndarray) -> Frame:
+        """Merge warped pixels, sparse fills, and background into a Frame."""
         image = warp.image.copy()
         depth = warp.depth.copy()
         hit = classification.warped.copy()
 
-        pixel_ids = classification.rerender_pixel_ids()
-        colors, z, out = self.renderer.render_pixels(target_camera, pixel_ids)
         if pixel_ids.size:
             flat_img = image.reshape(-1, 3)
             flat_img[pixel_ids] = colors
@@ -159,16 +233,29 @@ class SparwRenderer:
                 bg = self.renderer.background(dirs.reshape(-1, 3))
                 image.reshape(-1, 3)[void.reshape(-1)] = bg[void.reshape(-1)]
 
-        frame = Frame(image=image, depth=depth, hit=hit,
-                      c2w=target_camera.c2w.copy())
-        return frame, warp, classification, out.stats
+        return Frame(image=image, depth=depth, hit=hit,
+                     c2w=target_camera.c2w.copy())
 
     # -- sequence rendering --------------------------------------------------------
 
-    def render_sequence(self, poses: list) -> SparwSequenceResult:
-        """Render every pose in order, managing references per the policy."""
+    def step(self, poses: list):
+        """Resumable per-frame generator over a pose sequence.
+
+        Yields two kinds of events:
+
+        * :class:`RayRequest` — the pipeline needs NeRF ray results to
+          continue; the driver must respond with
+          ``gen.send(render_output)`` where ``render_output`` renders
+          exactly the requested rays.
+        * :class:`TargetFrameRecord` — a finished target frame; respond
+          with ``gen.send(None)`` (or plain ``next()``).
+
+        Both the single-user :meth:`render_sequence` and the multi-session
+        batching engine (:mod:`repro.engine`) drive this generator; the
+        engine interleaves many of them and answers their requests from
+        shared vectorized field queries.
+        """
         poses = [np.asarray(p, dtype=float) for p in poses]
-        result = SparwSequenceResult()
         reference: Frame | None = None
         previous_output: Frame | None = None
 
@@ -182,10 +269,11 @@ class SparwRenderer:
                     reference = previous_output
                 else:
                     ref_pose = self.policy.reference_pose(i, poses)
-                    reference, ref_stats = self.render_reference(ref_pose)
+                    reference, ref_stats = yield from self._reference_path(
+                        ref_pose, frame_index=i)
 
-            frame, warp, classification, sparse_stats = self.render_target(
-                reference, pose)
+            frame, warp, classification, sparse_stats = yield from (
+                self._target_path(reference, pose, frame_index=i))
             if self._chained:
                 # Chained warping: the next frame warps from this output.
                 reference = frame
@@ -194,7 +282,7 @@ class SparwRenderer:
             covered = classification.warped
             mean_angle = (float(warp.warp_angle_deg[covered].mean())
                           if covered.any() else 0.0)
-            result.records.append(TargetFrameRecord(
+            yield TargetFrameRecord(
                 frame_index=i,
                 frame=frame,
                 classification=classification,
@@ -204,5 +292,25 @@ class SparwRenderer:
                 reference_stats=ref_stats,
                 warp_points=reference.depth.size,
                 mean_warp_angle_deg=mean_angle,
-            ))
-        return result
+            )
+
+    def render_sequence(self, poses: list) -> SparwSequenceResult:
+        """Render every pose in order, managing references per the policy.
+
+        Drives :meth:`step`, answering each ray request with a direct
+        ``render_rays`` call — the single-user path.
+        """
+        result = SparwSequenceResult()
+        gen = self.step(poses)
+        send_value = None
+        while True:
+            try:
+                event = gen.send(send_value)
+            except StopIteration:
+                return result
+            if isinstance(event, RayRequest):
+                send_value = self.renderer.render_rays(event.origins,
+                                                       event.directions)
+            else:
+                result.records.append(event)
+                send_value = None

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from ...memsys.cache import simulate_lru
 from ...memsys.trace import analyze_streaming, trace_from_gather_group

@@ -1,0 +1,27 @@
+"""Batched multi-session render engine.
+
+Serves N concurrent viewing sessions (one SPARW pipeline each) by
+interleaving their per-frame stepping and batching the sparse-NeRF ray work
+of all sessions that share a field into single vectorized queries — the
+multi-user serving dimension on top of the paper's single-user pipeline.
+"""
+
+from .engine import BatchStats, EngineResult, MultiSessionEngine
+from .scheduler import (
+    DeadlineScheduler,
+    RoundRobinScheduler,
+    SCHEDULERS,
+    make_scheduler,
+)
+from .session import RenderSession
+
+__all__ = [
+    "BatchStats",
+    "EngineResult",
+    "MultiSessionEngine",
+    "DeadlineScheduler",
+    "RoundRobinScheduler",
+    "SCHEDULERS",
+    "make_scheduler",
+    "RenderSession",
+]

@@ -1,0 +1,159 @@
+"""The batched multi-session engine: interleave sessions, batch their rays.
+
+Each round the engine collects the pending :class:`RayRequest` of every
+runnable session (in scheduler order, optionally capped by a per-round ray
+budget), groups the requests by renderer, flattens each group's rays into
+one :meth:`~repro.nerf.renderer.NeRFRenderer.render_ray_batch` call — a
+single vectorized field evaluation spanning all of that renderer's sessions
+— and scatters the outputs back.  Because the batched evaluation is exact,
+every session produces frames and work statistics identical to running it
+alone through :meth:`SparwRenderer.render_sequence`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .scheduler import RoundRobinScheduler
+from .session import RenderSession
+
+__all__ = ["BatchStats", "EngineResult", "MultiSessionEngine", "batch_key"]
+
+
+def batch_key(renderer) -> tuple | None:
+    """Grouping key for renderers whose ray work can share one evaluation.
+
+    Two sessions may be answered from the same vectorized field query iff
+    their renderers would produce identical outputs for the same rays:
+    same field and sampler state, same chunk geometry, and a deterministic
+    sampler.  Returns ``None`` for renderers with a stochastic (jittered)
+    sampler — their requests must each get their own render call (even two
+    sessions sharing one such renderer cannot batch: combined chunks would
+    reorder the sampler's RNG stream).
+    """
+    sampler = renderer.sampler
+    if getattr(sampler, "jitter", False):
+        return None
+    return (id(renderer.field), id(getattr(sampler, "occupancy", None)),
+            sampler.num_samples, renderer.chunk_size)
+
+
+@dataclass
+class BatchStats:
+    """How much ray work the engine coalesced across sessions."""
+
+    rounds: int = 0
+    requests: int = 0  # session-level ray requests served
+    nerf_calls: int = 0  # batched field evaluations issued
+    total_rays: int = 0
+    max_batch_rays: int = 0
+
+    @property
+    def requests_per_call(self) -> float:
+        """Mean session requests folded into one field evaluation."""
+        return self.requests / self.nerf_calls if self.nerf_calls else 0.0
+
+    @property
+    def mean_batch_rays(self) -> float:
+        return self.total_rays / self.nerf_calls if self.nerf_calls else 0.0
+
+
+@dataclass
+class EngineResult:
+    """Per-session sequence results plus engine-level batching statistics."""
+
+    sessions: list = field(default_factory=list)
+    batch: BatchStats = field(default_factory=BatchStats)
+
+    def session(self, session_id: str) -> RenderSession:
+        for s in self.sessions:
+            if s.session_id == session_id:
+                return s
+        raise KeyError(f"no session {session_id!r}")
+
+    @property
+    def total_frames(self) -> int:
+        return sum(s.frames_completed for s in self.sessions)
+
+
+class MultiSessionEngine:
+    """Runs N sessions to completion with cross-session ray batching.
+
+    Parameters
+    ----------
+    sessions:
+        The :class:`RenderSession` list to serve.  Session ids must be
+        unique.
+    scheduler:
+        Ordering policy (default round-robin); see
+        :mod:`repro.engine.scheduler`.
+    ray_budget:
+        Optional cap on rays served per round.  Sessions are taken in
+        scheduler order until the cap is reached (always at least one), so
+        an undersized budget makes the scheduler's priorities visible:
+        lagging sessions are served, leading ones wait.  ``None`` serves
+        every runnable session each round.
+    """
+
+    def __init__(self, sessions: list, scheduler=None,
+                 ray_budget: int | None = None):
+        ids = [s.session_id for s in sessions]
+        if len(set(ids)) != len(ids):
+            raise ValueError("session ids must be unique")
+        if ray_budget is not None and ray_budget < 1:
+            raise ValueError("ray_budget must be >= 1")
+        self.sessions = list(sessions)
+        self.scheduler = scheduler or RoundRobinScheduler()
+        self.ray_budget = ray_budget
+
+    def run(self) -> EngineResult:
+        """Serve every session to completion; returns the combined result."""
+        stats = BatchStats()
+        round_index = 0
+        while True:
+            active = [s for s in self.sessions if not s.done]
+            if not active:
+                break
+            ordered = self.scheduler.order(active, round_index)
+            served = self._select(ordered)
+            self._serve_round(served, stats)
+            stats.rounds += 1
+            round_index += 1
+        return EngineResult(sessions=list(self.sessions), batch=stats)
+
+    # -- internals --------------------------------------------------------------
+
+    def _select(self, ordered: list) -> list:
+        """Prefix of the scheduler ordering that fits the ray budget."""
+        if self.ray_budget is None:
+            return ordered
+        served, spent = [], 0
+        for session in ordered:
+            rays = session.pending_request.num_rays
+            if served and spent + rays > self.ray_budget:
+                break
+            served.append(session)
+            spent += rays
+        return served
+
+    def _serve_round(self, served: list, stats: BatchStats) -> None:
+        """Batch the pending requests of ``served`` by renderer and answer."""
+        groups: dict = {}
+        for index, session in enumerate(served):
+            key = batch_key(session.renderer)
+            if key is None:  # stochastic sampler: one call per request
+                key = ("solo", index)
+            groups.setdefault(key, []).append(session)
+
+        for members in groups.values():
+            renderer = members[0].renderer
+            requests = [s.pending_request for s in members]
+            bundles = [(r.origins, r.directions) for r in requests]
+            outputs = renderer.render_ray_batch(bundles)
+            stats.nerf_calls += 1
+            stats.requests += len(requests)
+            batch_rays = sum(r.num_rays for r in requests)
+            stats.total_rays += batch_rays
+            stats.max_batch_rays = max(stats.max_batch_rays, batch_rays)
+            for session, output in zip(members, outputs):
+                session.deliver(output)

@@ -1,0 +1,60 @@
+"""Session scheduling: which sessions' ray work is served each round.
+
+Every engine round serves a prefix of the scheduler's ordering (bounded by
+the engine's per-round ray budget), so the ordering decides who renders
+first when the hardware is oversubscribed:
+
+* :class:`RoundRobinScheduler` rotates the starting session every round —
+  fair shares, no starvation.
+* :class:`DeadlineScheduler` serves the session whose next frame is most
+  overdue at its target frame rate first (earliest-deadline-first), which
+  trades fairness for tail latency.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RoundRobinScheduler", "DeadlineScheduler", "SCHEDULERS",
+           "make_scheduler"]
+
+
+class RoundRobinScheduler:
+    """Rotate session order by one slot per round."""
+
+    name = "round_robin"
+
+    def order(self, sessions: list, round_index: int) -> list:
+        if not sessions:
+            return []
+        start = round_index % len(sessions)
+        return sessions[start:] + sessions[:start]
+
+
+class DeadlineScheduler:
+    """Earliest-deadline-first by each session's frame-rate target.
+
+    A session that has completed ``k`` frames owes frame ``k`` at virtual
+    time ``k / fps_target``; the most-behind session goes first.  Ties fall
+    back to session id so the ordering is deterministic.
+    """
+
+    name = "deadline"
+
+    def order(self, sessions: list, round_index: int) -> list:
+        return sorted(sessions,
+                      key=lambda s: (s.next_deadline, s.session_id))
+
+
+SCHEDULERS = {
+    RoundRobinScheduler.name: RoundRobinScheduler,
+    DeadlineScheduler.name: DeadlineScheduler,
+}
+
+
+def make_scheduler(name: str):
+    """Scheduler instance by name (``round_robin`` or ``deadline``)."""
+    try:
+        return SCHEDULERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; one of {tuple(SCHEDULERS)}"
+        ) from None

@@ -1,0 +1,109 @@
+"""Per-user rendering sessions: scene + trajectory + resumable SPARW state.
+
+A :class:`RenderSession` wraps one user's :class:`SparwRenderer` pipeline,
+driven through its resumable :meth:`~SparwRenderer.step` generator.  The
+session pauses whenever the pipeline needs NeRF ray results and resumes when
+the engine delivers them — which is what lets the engine interleave many
+sessions and batch their ray work into shared field queries.
+"""
+
+from __future__ import annotations
+
+from ..core.sparw.pipeline import (
+    RayRequest,
+    SparwRenderer,
+    SparwSequenceResult,
+)
+
+__all__ = ["RenderSession"]
+
+
+class RenderSession:
+    """One concurrent user's viewing session.
+
+    Parameters
+    ----------
+    session_id:
+        Stable identifier used in engine results and reports.
+    sparw:
+        The session's SPARW pipeline (its renderer determines which batch
+        group the session's ray work joins — sessions sharing a renderer
+        share field evaluations).
+    poses:
+        The session's camera trajectory.
+    fps_target:
+        Frame-rate the user expects; deadline scheduling orders sessions by
+        how far each one has fallen behind this rate.
+    """
+
+    def __init__(self, session_id: str, sparw: SparwRenderer, poses: list,
+                 fps_target: float = 30.0):
+        if fps_target <= 0.0:
+            raise ValueError("fps_target must be positive")
+        self.session_id = str(session_id)
+        self.sparw = sparw
+        self.poses = list(poses)
+        self.fps_target = float(fps_target)
+        self.result = SparwSequenceResult()
+        self._gen = sparw.step(self.poses)
+        self._pending: RayRequest | None = None
+        self._done = len(self.poses) == 0
+        if not self._done:
+            self._advance(None)
+
+    # -- state ------------------------------------------------------------------
+
+    @property
+    def renderer(self):
+        """The NeRF renderer whose field this session queries."""
+        return self.sparw.renderer
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def num_frames(self) -> int:
+        return len(self.poses)
+
+    @property
+    def frames_completed(self) -> int:
+        return self.result.num_frames
+
+    @property
+    def pending_request(self) -> RayRequest | None:
+        """The ray work the session is blocked on (None once done)."""
+        return self._pending
+
+    @property
+    def next_deadline(self) -> float:
+        """Virtual due-time of the next frame at the session's target rate."""
+        return self.frames_completed / self.fps_target
+
+    # -- driving ----------------------------------------------------------------
+
+    def deliver(self, output) -> None:
+        """Hand the pipeline the RenderOutput for its pending request."""
+        if self._pending is None:
+            raise RuntimeError(
+                f"session {self.session_id!r} has no pending ray request")
+        self._pending = None
+        self._advance(output)
+
+    def _advance(self, send_value) -> None:
+        """Run the pipeline until it needs rays again or finishes."""
+        while True:
+            try:
+                event = self._gen.send(send_value)
+            except StopIteration:
+                self._done = True
+                return
+            if isinstance(event, RayRequest):
+                self._pending = event
+                return
+            self.result.records.append(event)
+            send_value = None
+
+    def __repr__(self) -> str:
+        return (f"RenderSession({self.session_id!r}, "
+                f"{self.frames_completed}/{self.num_frames} frames)")

@@ -1,13 +1,17 @@
 """Command-line experiment runner.
 
-Run any figure reproduction from a shell::
+Run any figure reproduction, or the multi-session serving workload, from a
+shell::
 
     python -m repro.harness.cli fig07
     python -m repro.harness.cli fig19 --fast
-    python -m repro.harness.cli all --fast
+    python -m repro.harness.cli all --fast --json-out bench-artifacts
+    python -m repro.harness.cli serve --sessions 8 --fast
 
 ``--fast`` uses the reduced test-scale configuration (seconds per figure);
 the default scale matches the benchmarks (minutes for the quality figures).
+``--json-out DIR`` persists every run's rows as ``BENCH_<figure>.json`` so
+automated runs leave machine-readable perf history.
 """
 
 from __future__ import annotations
@@ -16,47 +20,122 @@ import argparse
 import sys
 import time
 
-from .configs import DEFAULT, FAST
+from ..hw.soc import VARIANTS
+from .configs import ALGORITHMS, DEFAULT, FAST, scene_of
 from .experiments import EXPERIMENTS
-from .reporting import print_table
+from .reporting import print_table, write_bench_json
+
+SERVE_COMMAND = "serve"
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.harness.cli",
-        description="Reproduce individual Cicero (ISCA 2024) figures.")
+        description="Reproduce individual Cicero (ISCA 2024) figures, or "
+                    "serve a batched multi-session rendering workload.")
     parser.add_argument(
         "figure",
-        help="figure id (e.g. fig07) or 'all'; 'list' prints available ids")
+        help="figure id (e.g. fig07), 'all', 'serve', or 'list' to print "
+             "available ids")
     parser.add_argument(
         "--fast", action="store_true",
         help="use the reduced test-scale configuration")
+    parser.add_argument(
+        "--json-out", metavar="DIR", default=None,
+        help="also write BENCH_<figure>.json artifacts into DIR")
+    serve = parser.add_argument_group(
+        "serve options", "only used with the 'serve' command")
+    serve.add_argument("--sessions", type=int, default=4,
+                       help="number of concurrent sessions (default 4)")
+    serve.add_argument("--frames", type=int, default=None,
+                       help="frames per session (default: config scale)")
+    serve.add_argument("--scheduler", choices=("round_robin", "deadline"),
+                       default="round_robin",
+                       help="session scheduling policy")
+    serve.add_argument("--variant", choices=VARIANTS, default="cicero",
+                       help="SoC variant to price frames under")
+    serve.add_argument("--scene", action="append", dest="scenes",
+                       metavar="NAME",
+                       help="scene(s) to cycle sessions over (repeatable; "
+                            "default lego)")
+    serve.add_argument("--algorithm", default="directvoxgo",
+                       help="NeRF algorithm for every session")
     return parser
 
 
-def run_figure(name: str, config) -> None:
+def run_figure(name: str, config, json_dir: str | None = None) -> None:
     started = time.time()
     result = EXPERIMENTS[name](config)
     rows = result if isinstance(result, list) else [result]
-    print_table(rows, title=f"{name} ({time.time() - started:.1f}s)")
+    elapsed = time.time() - started
+    print_table(rows, title=f"{name} ({elapsed:.1f}s)")
+    if json_dir is not None:
+        write_bench_json(json_dir, name, rows, elapsed, config=config)
+
+
+def run_serve(args, config) -> int:
+    from .serve import run_serve as serve_experiment
+    if args.sessions < 1:
+        print("serve: --sessions must be >= 1", file=sys.stderr)
+        return 2
+    if args.frames is not None and args.frames < 1:
+        print("serve: --frames must be >= 1", file=sys.stderr)
+        return 2
+    if args.algorithm not in ALGORITHMS:
+        print(f"serve: unknown algorithm {args.algorithm!r}; one of "
+              f"{ALGORITHMS}", file=sys.stderr)
+        return 2
+    scenes = tuple(args.scenes or ("lego",))
+    for name in scenes:
+        try:
+            scene_of(name)
+        except KeyError as exc:
+            print(f"serve: {exc.args[0]}", file=sys.stderr)
+            return 2
+    started = time.time()
+    rows, summary = serve_experiment(
+        config, sessions=args.sessions, scheduler=args.scheduler,
+        variant=args.variant, frames=args.frames,
+        scene_names=scenes, algorithm=args.algorithm)
+    elapsed = time.time() - started
+    print_table(rows, title=f"serve: {args.sessions} sessions "
+                            f"({elapsed:.1f}s wall)")
+    print_table([summary], title="aggregate")
+    if args.json_out is not None:
+        write_bench_json(args.json_out, SERVE_COMMAND, rows, elapsed,
+                         config=config, extra=summary)
+    return 0
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     config = FAST if args.fast else DEFAULT
 
+    if args.json_out is not None:
+        from pathlib import Path
+        target = Path(args.json_out)
+        if target.exists() and not target.is_dir():
+            print(f"--json-out: {args.json_out!r} exists and is not a "
+                  "directory", file=sys.stderr)
+            return 2
+
     if args.figure == "list":
         for name in sorted(EXPERIMENTS):
             print(name)
+        print(SERVE_COMMAND)
         return 0
+    if args.figure == SERVE_COMMAND:
+        return run_serve(args, config)
     if args.figure == "all":
         for name in sorted(EXPERIMENTS):
-            run_figure(name, config)
+            run_figure(name, config, json_dir=args.json_out)
         return 0
     if args.figure not in EXPERIMENTS:
-        print(f"unknown figure {args.figure!r}; try 'list'", file=sys.stderr)
+        known = ", ".join(sorted(EXPERIMENTS))
+        print(f"unknown figure {args.figure!r}; expected one of: {known}, "
+              f"all, serve, list", file=sys.stderr)
         return 2
-    run_figure(args.figure, config)
+    run_figure(args.figure, config, json_dir=args.json_out)
     return 0
 
 

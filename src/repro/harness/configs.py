@@ -17,7 +17,7 @@ suite runs in minutes.  EXPERIMENTS.md records the mapping.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from functools import lru_cache
 
 from ..geometry.camera import Intrinsics, PinholeCamera
@@ -163,9 +163,15 @@ def _cached_occupancy(algorithm: str, scene_name: str,
     return OccupancyGrid.from_field(reference, resolution=32)
 
 
+@lru_cache(maxsize=None)
 def build_renderer(algorithm: str, scene_name: str,
                    config: ExperimentConfig = DEFAULT) -> NeRFRenderer:
-    """Renderer with occupancy-culled sampling and the scene's background."""
+    """Renderer with occupancy-culled sampling and the scene's background.
+
+    Cached per (algorithm, scene, config): concurrent sessions of the same
+    workload share one renderer instance, which also lets the multi-session
+    engine batch their ray work against one field.
+    """
     field = build_field(algorithm, scene_name, config)
     occupancy = _cached_occupancy(algorithm, scene_name, config)
     sampler = UniformSampler(config.samples_per_ray, occupancy=occupancy)

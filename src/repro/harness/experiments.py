@@ -29,7 +29,6 @@ from ..memsys.cache import simulate_belady
 from ..memsys.trace import analyze_streaming, interleaved_gather_trace
 from ..metrics.quality import mean_psnr
 from ..scenes.library import SYNTHETIC_SCENES
-from ..scenes.raytracer import RayTracer
 from .configs import (
     ALGORITHMS,
     DEFAULT,
@@ -37,7 +36,6 @@ from .configs import (
     build_renderer,
     ground_truth_sequence,
     make_camera,
-    scene_of,
 )
 
 __all__ = [

@@ -1,13 +1,20 @@
-"""Fixed-width table rendering for benchmark output.
+"""Fixed-width table rendering + machine-readable benchmark artifacts.
 
 Every bench prints the rows/series of its paper figure through these
 helpers, so ``pytest benchmarks/ --benchmark-only`` doubles as the
-reproduction report.
+reproduction report.  :func:`write_bench_json` additionally persists a
+figure's rows as ``BENCH_<figure>.json`` (rows + wall time + config scale)
+so CI runs leave a perf-trajectory artifact diffable across commits.
 """
 
 from __future__ import annotations
 
-__all__ = ["format_table", "print_table", "format_value"]
+import dataclasses
+import json
+from pathlib import Path
+
+__all__ = ["format_table", "print_table", "format_value",
+           "bench_payload", "write_bench_json"]
 
 
 def format_value(value, precision: int = 3) -> str:
@@ -55,3 +62,50 @@ def print_table(rows: list, columns: list | None = None,
     print()
     print(format_table(rows, columns=columns, title=title,
                        precision=precision))
+
+
+def _jsonable(value):
+    """Coerce row values (incl. numpy scalars/arrays) to JSON-native types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if hasattr(value, "tolist"):  # numpy scalar or array
+        return _jsonable(value.tolist())
+    if isinstance(value, float):
+        # NaN/inf are not valid JSON; stringify so artifacts stay parseable.
+        if value != value or value in (float("inf"), float("-inf")):
+            return str(value)
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def bench_payload(name: str, rows: list, wall_time_s: float,
+                  config=None, extra: dict | None = None) -> dict:
+    """The JSON document persisted for one figure/experiment run."""
+    payload = {
+        "schema": 1,
+        "figure": name,
+        "wall_time_s": float(wall_time_s),
+        "rows": _jsonable(rows),
+    }
+    if config is not None:
+        payload["config_scale"] = _jsonable(config)
+    if extra:
+        payload["extra"] = _jsonable(extra)
+    return payload
+
+
+def write_bench_json(directory, name: str, rows: list, wall_time_s: float,
+                     config=None, extra: dict | None = None) -> Path:
+    """Write ``BENCH_<name>.json`` under ``directory``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    payload = bench_payload(name, rows, wall_time_s, config=config,
+                            extra=extra)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

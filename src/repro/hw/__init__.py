@@ -6,6 +6,12 @@ from .npu import NPUConfig, NPUModel
 from .pipeline import TimelineResult, overlapped_timeline, serialized_timeline
 from .remote import RemoteConfig, RemoteScenario
 from .rivals import NGPCModel, NeuRexModel
+from .serving import (
+    ServingReport,
+    SessionServingStats,
+    aggregate_serving,
+    price_session_frames,
+)
 from .soc import VARIANTS, FrameCost, SoCModel, SparwWorkloads
 from .workload import FrameWorkload, GatherTraffic, workload_from_stats
 
@@ -25,6 +31,10 @@ __all__ = [
     "RemoteScenario",
     "NGPCModel",
     "NeuRexModel",
+    "ServingReport",
+    "SessionServingStats",
+    "aggregate_serving",
+    "price_session_frames",
     "VARIANTS",
     "FrameCost",
     "SoCModel",

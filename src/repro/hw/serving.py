@@ -1,0 +1,140 @@
+"""Aggregate multi-session throughput model: frames/s and tail latency.
+
+Prices the frames of N concurrent SPARW sessions on one shared SoC and
+simulates round-interleaved service: round ``i`` renders every session's
+frame ``i`` back to back, so a frame's latency is its completion offset
+within the round (its own cost plus queueing behind the sessions served
+before it).  Window-boundary frames carry their full-frame reference cost,
+which is exactly what the p95 tail captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .soc import SoCModel
+from .workload import workload_from_stats
+
+__all__ = ["SessionServingStats", "ServingReport", "price_session_frames",
+           "aggregate_serving"]
+
+
+@dataclass
+class SessionServingStats:
+    """One session's share of the serving simulation."""
+
+    session_id: str
+    frames: int
+    references: int
+    busy_s: float  # SoC time spent on this session's frames
+    solo_fps: float  # rate if the session had the SoC to itself
+    mean_latency_s: float
+    p95_latency_s: float
+
+
+@dataclass
+class ServingReport:
+    """Aggregate service metrics across every session."""
+
+    num_sessions: int
+    total_frames: int
+    makespan_s: float
+    aggregate_fps: float
+    mean_latency_s: float
+    p95_latency_s: float
+    worst_latency_s: float
+    per_session: list = field(default_factory=list)
+
+
+def price_session_frames(result, soc: SoCModel, variant: str = "cicero"
+                         ) -> list:
+    """Per-frame SoC time of one SPARW sequence result (seconds).
+
+    Each target frame is priced from its recorded sparse-NeRF stats and
+    warp work; frames that rendered a new reference additionally pay the
+    full-frame render (local rendering serialises the two paths on the
+    shared SoC).
+    """
+    times = []
+    for record in result.records:
+        target = workload_from_stats(record.sparse_stats,
+                                     warp_points=record.warp_points)
+        cost = soc.price_nerf(target, variant).time_s
+        if record.reference_stats is not None:
+            reference = workload_from_stats(record.reference_stats)
+            cost += soc.price_nerf(reference, variant).time_s
+        times.append(cost)
+    return times
+
+
+def aggregate_serving(session_results: dict, soc: SoCModel | None = None,
+                      variant: str = "cicero",
+                      order: str = "arrival") -> ServingReport:
+    """Simulate interleaved service of many sessions on one SoC.
+
+    Parameters
+    ----------
+    session_results:
+        ``{session_id: SparwSequenceResult}`` — the engine's per-session
+        outputs (or any solo pipeline results).
+    soc:
+        Hardware model to price frames on (default configuration if None).
+    variant:
+        SoC variant to price under (see :data:`repro.hw.soc.VARIANTS`).
+    order:
+        Within-round service order: ``"arrival"`` keeps dict order (the
+        engine's round-robin) or ``"sjf"`` serves cheapest frames first,
+        which minimises mean queueing delay (the deadline scheduler's
+        latency-oriented counterpart).
+    """
+    if order not in ("arrival", "sjf"):
+        raise ValueError(f"unknown service order {order!r}")
+    soc = soc or SoCModel()
+    frame_times = {sid: price_session_frames(result, soc, variant)
+                   for sid, result in session_results.items()}
+
+    latencies: dict = {sid: [] for sid in frame_times}
+    clock = 0.0
+    max_frames = max((len(t) for t in frame_times.values()), default=0)
+    for i in range(max_frames):
+        due = [(sid, times[i]) for sid, times in frame_times.items()
+               if i < len(times)]
+        if order == "sjf":
+            due.sort(key=lambda item: item[1])
+        round_start = clock
+        for sid, cost in due:
+            clock += cost
+            latencies[sid].append(clock - round_start)
+
+    per_session = []
+    all_latencies = []
+    for sid, result in session_results.items():
+        times = frame_times[sid]
+        lats = latencies[sid]
+        all_latencies.extend(lats)
+        busy = float(sum(times))
+        per_session.append(SessionServingStats(
+            session_id=sid,
+            frames=len(times),
+            references=result.num_references,
+            busy_s=busy,
+            solo_fps=len(times) / busy if busy > 0 else 0.0,
+            mean_latency_s=float(np.mean(lats)) if lats else 0.0,
+            p95_latency_s=float(np.percentile(lats, 95)) if lats else 0.0,
+        ))
+
+    total_frames = sum(s.frames for s in per_session)
+    return ServingReport(
+        num_sessions=len(per_session),
+        total_frames=total_frames,
+        makespan_s=clock,
+        aggregate_fps=total_frames / clock if clock > 0 else 0.0,
+        mean_latency_s=(float(np.mean(all_latencies))
+                        if all_latencies else 0.0),
+        p95_latency_s=(float(np.percentile(all_latencies, 95))
+                       if all_latencies else 0.0),
+        worst_latency_s=max(all_latencies, default=0.0),
+        per_session=per_session,
+    )

@@ -130,7 +130,127 @@ class NeRFRenderer:
                             opacity=result.opacity, stats=stats,
                             gather_groups=groups)
 
+    # -- batched ray rendering ---------------------------------------------------
+
+    def render_ray_batch(self, bundles: list) -> list:
+        """Render several ray bundles through shared vectorized field queries.
+
+        ``bundles`` is a list of ``(origins, directions)`` flat ray arrays
+        (e.g. one bundle per concurrent rendering session).  All rays are
+        flattened into one stream so sampling, feature interpolation, and
+        decoding run on combined chunks — a single field evaluation spans
+        every bundle.  Compositing and work-stat accounting then replay the
+        exact per-bundle chunk boundaries of :meth:`render_rays`, so each
+        returned :class:`RenderOutput` is identical to rendering its bundle
+        alone (the sampler must be deterministic, i.e. ``jitter=False``).
+        """
+        prepped = []
+        for origins, directions in bundles:
+            o = np.atleast_2d(np.asarray(origins, dtype=float))
+            d = np.atleast_2d(np.asarray(directions, dtype=float))
+            prepped.append((o, d))
+        sizes = [o.shape[0] for o, _ in prepped]
+        total = sum(sizes)
+        if total == 0:
+            return [RenderOutput(rgb=np.zeros((0, 3)), depth_t=np.zeros(0),
+                                 opacity=np.zeros(0), stats=RenderStats())
+                    for _ in prepped]
+        flat_o = np.concatenate([o for o, _ in prepped], axis=0)
+        flat_d = np.concatenate([d for _, d in prepped], axis=0)
+
+        # Phase 1: one vectorized sample/interpolate/decode pass over chunks
+        # of the *combined* ray stream.  Per-sample values are independent of
+        # chunk composition, so this is safe to share across bundles.
+        parts: list = []
+        for start in range(0, total, self.chunk_size):
+            stop = min(start + self.chunk_size, total)
+            samples = self.sampler.sample(flat_o[start:stop],
+                                          flat_d[start:stop],
+                                          self.field.bounds)
+            if len(samples) == 0:
+                continue
+            features = self.field.interpolate(samples.positions)
+            sigma, rgb_s = self.field.decode(features, samples.directions)
+            parts.append((samples.ray_index + start, samples.positions,
+                          sigma, rgb_s, samples.t_values, samples.deltas))
+        if parts:
+            ray_of = np.concatenate([p[0] for p in parts])
+            positions = np.concatenate([p[1] for p in parts], axis=0)
+            sigma = np.concatenate([p[2] for p in parts])
+            rgb_s = np.concatenate([p[3] for p in parts], axis=0)
+            t_values = np.concatenate([p[4] for p in parts])
+            deltas = np.concatenate([p[5] for p in parts])
+        else:
+            ray_of = np.zeros(0, dtype=np.int64)
+
+        # Phase 2: composite and count work per bundle, replaying the chunk
+        # boundaries render_rays would have used for that bundle alone (the
+        # segmented scan in `composite` and the one-sample gather plan both
+        # depend on them).
+        outputs = []
+        offset = 0
+        macs = self.field.decoder.macs_per_sample()
+        for n in sizes:
+            rgb = np.zeros((n, 3))
+            depth = np.full(n, np.inf)
+            opacity = np.zeros(n)
+            stats = RenderStats(num_rays=n)
+            for cs in range(0, n, self.chunk_size):
+                ce = min(cs + self.chunk_size, n)
+                lo = np.searchsorted(ray_of, offset + cs)
+                hi = np.searchsorted(ray_of, offset + ce)
+                nsamp = int(hi - lo)
+                stats.num_samples += nsamp
+                if nsamp == 0:
+                    continue
+                result = composite(sigma[lo:hi], rgb_s[lo:hi], t_values[lo:hi],
+                                   deltas[lo:hi], ray_of[lo:hi] - (offset + cs),
+                                   ce - cs)
+                rgb[cs:ce] = result.rgb
+                depth[cs:ce] = result.depth
+                opacity[cs:ce] = result.opacity
+                for group in self.field.gather_plan(positions[lo:lo + 1]):
+                    accesses = (group.vertices_per_sample * group.num_samples
+                                * nsamp)
+                    stats.gather_vertex_accesses += accesses
+                    stats.gather_bytes += accesses * group.entry_bytes
+                stats.mlp_macs += nsamp * macs
+            outputs.append(RenderOutput(rgb=rgb, depth_t=depth,
+                                        opacity=opacity, stats=stats))
+            offset += n
+        return outputs
+
     # -- frame-level API ---------------------------------------------------------
+
+    def compose_frame(self, camera: PinholeCamera, flat_directions: np.ndarray,
+                      out: RenderOutput) -> Frame:
+        """Assemble a :class:`Frame` from the raw output of a full-frame pass."""
+        height, width = camera.height, camera.width
+        solid = out.opacity >= self.opacity_threshold
+        image = out.rgb.copy()
+        if self.background is not None:
+            bg = self.background(flat_directions)
+            image = image + (1.0 - out.opacity[:, None]) * bg
+        forward = camera.c2w[:3, 2]
+        z = out.depth_t * (flat_directions @ forward)
+        depth = np.where(solid & np.isfinite(out.depth_t), z, np.inf)
+
+        return Frame(image=np.clip(image, 0.0, 1.0).reshape(height, width, 3),
+                     depth=depth.reshape(height, width),
+                     hit=solid.reshape(height, width),
+                     c2w=camera.c2w.copy())
+
+    def compose_pixels(self, camera: PinholeCamera, directions: np.ndarray,
+                       out: RenderOutput) -> tuple[np.ndarray, np.ndarray]:
+        """(colors, z_depth) for a sparse pixel pass from its raw output."""
+        colors = out.rgb.copy()
+        if self.background is not None:
+            colors = colors + (1.0 - out.opacity[:, None]) * self.background(directions)
+        forward = camera.c2w[:3, 2]
+        z = out.depth_t * (directions @ forward)
+        solid = out.opacity >= self.opacity_threshold
+        z = np.where(solid & np.isfinite(out.depth_t), z, np.inf)
+        return np.clip(colors, 0.0, 1.0), z
 
     def render_frame(self, camera: PinholeCamera,
                      record_gather: bool = False) -> tuple[Frame, RenderOutput]:
@@ -139,22 +259,7 @@ class NeRFRenderer:
         flat_o = origins.reshape(-1, 3)
         flat_d = directions.reshape(-1, 3)
         out = self.render_rays(flat_o, flat_d, record_gather=record_gather)
-
-        height, width = camera.height, camera.width
-        solid = out.opacity >= self.opacity_threshold
-        image = out.rgb.copy()
-        if self.background is not None:
-            bg = self.background(flat_d)
-            image = image + (1.0 - out.opacity[:, None]) * bg
-        forward = camera.c2w[:3, 2]
-        z = out.depth_t * (flat_d @ forward)
-        depth = np.where(solid & np.isfinite(out.depth_t), z, np.inf)
-
-        frame = Frame(image=np.clip(image, 0.0, 1.0).reshape(height, width, 3),
-                      depth=depth.reshape(height, width),
-                      hit=solid.reshape(height, width),
-                      c2w=camera.c2w.copy())
-        return frame, out
+        return self.compose_frame(camera, flat_d, out), out
 
     def render_pixels(self, camera: PinholeCamera, pixel_ids: np.ndarray,
                       record_gather: bool = False
@@ -168,12 +273,5 @@ class NeRFRenderer:
         v, u = np.divmod(pixel_ids, camera.width)
         origins, directions = camera.rays_for_pixels(u + 0.5, v + 0.5)
         out = self.render_rays(origins, directions, record_gather=record_gather)
-
-        colors = out.rgb.copy()
-        if self.background is not None:
-            colors = colors + (1.0 - out.opacity[:, None]) * self.background(directions)
-        forward = camera.c2w[:3, 2]
-        z = out.depth_t * (directions @ forward)
-        solid = out.opacity >= self.opacity_threshold
-        z = np.where(solid & np.isfinite(out.depth_t), z, np.inf)
-        return np.clip(colors, 0.0, 1.0), z, out
+        colors, z = self.compose_pixels(camera, directions, out)
+        return colors, z, out

@@ -5,7 +5,7 @@ import pytest
 
 from repro.baselines import DS2Renderer, TemporalWarpRenderer, bilinear_upsample
 from repro.harness.configs import make_camera
-from repro.metrics import mean_psnr, psnr
+from repro.metrics import mean_psnr
 
 
 class TestBilinearUpsample:

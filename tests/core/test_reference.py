@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.sparw import ExtrapolatedReferencePolicy, OnTrajectoryReferencePolicy
-from repro.geometry import pose_translation, translation_distance
+from repro.geometry import translation_distance
 from repro.scenes import orbit_trajectory
 
 

@@ -1,7 +1,6 @@
 """Tests for feature-major vs channel-major SRAM layouts (Sec. IV-B)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,10 +2,13 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.core.sparw import VOID_FAR_DEPTH, warp_frame
-from repro.geometry import rotation_angle_deg
+from repro.core.sparw import VOID_FAR_DEPTH, classify_pixels, warp_frame
+from repro.geometry import look_at
 from repro.scenes import RayTracer, orbit_trajectory
+from repro.scenes.raytracer import Frame
 
 
 @pytest.fixture(scope="module")
@@ -104,3 +107,103 @@ class TestVoidFarPlane:
     def test_far_depth_constant_is_far(self, frames):
         assert VOID_FAR_DEPTH > 100.0 * np.nanmax(
             np.where(np.isfinite(frames[0].depth), frames[0].depth, 0.0))
+
+
+def synthetic_frame(camera, depth_value=2.5, void_rows=0):
+    """A flat-plane frame at constant depth; top `void_rows` rows are void."""
+    h, w = camera.height, camera.width
+    depth = np.full((h, w), float(depth_value))
+    hit = np.ones((h, w), dtype=bool)
+    if void_rows:
+        depth[:void_rows] = np.inf
+        hit[:void_rows] = False
+    image = np.linspace(0.0, 1.0, h * w * 3).reshape(h, w, 3)
+    return Frame(image=image, depth=depth, hit=hit, c2w=camera.c2w.copy())
+
+
+class TestEdgeCases:
+    def test_all_void_reference(self, small_camera, orbit):
+        """A reference that saw only background warps to void, never holes."""
+        ref_camera = small_camera.with_pose(orbit[0])
+        all_void = synthetic_frame(ref_camera,
+                                   void_rows=ref_camera.height)
+        warp = warp_frame(all_void, ref_camera,
+                          small_camera.with_pose(orbit[1]))
+        assert not warp.covered.any()
+        # The far-plane splats keep carrying "this direction is empty".
+        assert warp.void.mean() > 0.9
+        classification = classify_pixels(warp)
+        assert not classification.warped.any()
+        assert not (classification.disoccluded & warp.void).any()
+
+    def test_zero_overlap_target_pose(self, frames, small_camera, orbit):
+        """A target looking away from the scene shares no content at all."""
+        eye = orbit[0][:3, 3]
+        away = look_at(eye, eye + (eye - np.zeros(3)))  # look outward
+        warp = warp_frame(frames[0], small_camera.with_pose(orbit[0]),
+                          small_camera.with_pose(away))
+        assert not warp.covered.any()
+        classification = classify_pixels(warp)
+        # Everything not void is a disocclusion: full re-render needed.
+        assert (classification.disoccluded_fraction
+                + classification.void_fraction) == pytest.approx(1.0)
+
+    def test_void_far_splats_never_disoccluded(self, frames, small_camera,
+                                               orbit):
+        """Pixels covered by VOID_FAR_DEPTH splats are void, not holes."""
+        for target_pose in (orbit[1], orbit[3], orbit[5]):
+            warp = warp_frame(frames[0], small_camera.with_pose(orbit[0]),
+                              small_camera.with_pose(target_pose))
+            for phi in (None, 0.1):
+                classification = classify_pixels(warp,
+                                                 angle_threshold_deg=phi)
+                assert not (classification.disoccluded & warp.void).any()
+                assert not (classification.warped & warp.void).any()
+
+    def test_half_void_reference_partitions(self, small_camera, orbit):
+        ref_camera = small_camera.with_pose(orbit[0])
+        half = synthetic_frame(ref_camera,
+                               void_rows=ref_camera.height // 2)
+        warp = warp_frame(half, ref_camera, small_camera.with_pose(orbit[2]))
+        assert warp.covered.any() and warp.void.any()
+        classification = classify_pixels(warp)
+        total = (classification.warped_fraction
+                 + classification.disoccluded_fraction
+                 + classification.void_fraction)
+        assert total == pytest.approx(1.0)
+
+
+class TestWarpProperties:
+    """Hypothesis invariants over random target poses (pure numpy, fast)."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(angle_deg=st.floats(min_value=-25.0, max_value=25.0),
+           height=st.floats(min_value=0.2, max_value=1.4),
+           void_rows=st.integers(min_value=0, max_value=48))
+    def test_partition_and_void_invariants(self, angle_deg, height,
+                                           void_rows):
+        from repro.geometry import Intrinsics, PinholeCamera
+        camera = PinholeCamera(Intrinsics.from_fov(48, 48, 45.0))
+        ref_pose = look_at([3.0, 0.8, 0.0], [0.0, 0.0, 0.0])
+        a = np.radians(angle_deg)
+        tgt_pose = look_at([3.0 * np.cos(a), height, 3.0 * np.sin(a)],
+                           [0.0, 0.0, 0.0])
+        reference = synthetic_frame(camera.with_pose(ref_pose),
+                                    void_rows=void_rows)
+        warp = warp_frame(reference, camera.with_pose(ref_pose),
+                          camera.with_pose(tgt_pose))
+
+        # The three masks partition the target frame.
+        assert not (warp.covered & warp.void).any()
+        assert not (warp.hole_mask & (warp.covered | warp.void)).any()
+        assert (warp.covered | warp.void | warp.hole_mask).all()
+
+        # Far-plane (void) splats are never promoted to disocclusions,
+        # with or without the warping-angle threshold.
+        for phi in (None, 1.0):
+            classification = classify_pixels(warp, angle_threshold_deg=phi)
+            assert not (classification.disoccluded & warp.void).any()
+
+        # Covered pixels carry finite depth; uncovered carry +inf.
+        assert np.isfinite(warp.depth[warp.covered]).all()
+        assert np.isinf(warp.depth[~warp.covered]).all()

@@ -1,5 +1,7 @@
 """Tests for the CLI experiment runner."""
 
+import json
+
 import pytest
 
 from repro.harness.cli import build_parser, main
@@ -15,19 +17,86 @@ class TestParser:
         args = build_parser().parse_args(["fig07", "--fast"])
         assert args.fast
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--fast"])
+        assert args.figure == "serve"
+        assert args.sessions == 4
+        assert args.scheduler == "round_robin"
+        assert args.json_out is None
+
 
 class TestMain:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        assert "fig07" in out and "fig26" in out
+        assert "fig07" in out and "fig26" in out and "serve" in out
 
     def test_unknown_figure(self, capsys):
         assert main(["fig99"]) == 2
-        assert "unknown figure" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown figure" in err
+        # The message tells the user what *is* available.
+        assert "fig07" in err and "serve" in err
 
     def test_runs_cheap_figure_fast(self, capsys):
         assert main(["fig23", "--fast"]) == 0
         out = capsys.readouterr().out
         assert "fig23" in out
         assert "vft_kb" in out
+
+    def test_json_out_writes_artifact(self, capsys, tmp_path):
+        assert main(["fig23", "--fast", "--json-out", str(tmp_path)]) == 0
+        path = tmp_path / "BENCH_fig23.json"
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["figure"] == "fig23"
+        assert payload["wall_time_s"] >= 0.0
+        assert payload["config_scale"]["image_size"] == 48
+        assert any("vft_kb" in row for row in payload["rows"])
+
+
+class TestServe:
+    def test_serve_reports_aggregate_fps_and_p95(self, capsys, tmp_path):
+        assert main(["serve", "--fast", "--sessions", "2",
+                     "--frames", "3", "--json-out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "aggregate_fps" in out
+        assert "p95_latency_ms" in out
+        payload = json.loads((tmp_path / "BENCH_serve.json").read_text())
+        assert payload["extra"]["sessions"] == 2
+        assert payload["extra"]["total_frames"] == 6
+        assert payload["extra"]["aggregate_fps"] > 0
+        assert payload["extra"]["p95_latency_ms"] > 0
+        assert len(payload["rows"]) == 2
+
+    def test_serve_deadline_scheduler(self, capsys):
+        assert main(["serve", "--fast", "--sessions", "2", "--frames", "2",
+                     "--scheduler", "deadline"]) == 0
+        assert "deadline" in capsys.readouterr().out
+
+    def test_serve_rejects_bad_session_count(self, capsys):
+        assert main(["serve", "--fast", "--sessions", "0"]) == 2
+        assert "--sessions" in capsys.readouterr().err
+
+    def test_serve_rejects_unknown_variant(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--fast", "--sessions", "1", "--frames", "2",
+                  "--variant", "warpcore"])
+        assert excinfo.value.code == 2
+        assert "warpcore" in capsys.readouterr().err
+
+    def test_serve_rejects_unknown_scene(self, capsys):
+        assert main(["serve", "--fast", "--sessions", "1", "--frames", "2",
+                     "--scene", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scene" in err and "lego" in err
+
+    def test_serve_rejects_bad_frame_count(self, capsys):
+        assert main(["serve", "--fast", "--frames", "0"]) == 2
+        assert "--frames" in capsys.readouterr().err
+
+    def test_serve_rejects_unknown_algorithm(self, capsys):
+        assert main(["serve", "--fast", "--sessions", "1",
+                     "--algorithm", "gaussians"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown algorithm" in err and "directvoxgo" in err

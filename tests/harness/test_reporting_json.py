@@ -1,0 +1,52 @@
+"""Tests for the machine-readable BENCH_*.json perf artifacts."""
+
+import json
+
+import numpy as np
+
+from repro.harness.configs import FAST
+from repro.harness.reporting import bench_payload, write_bench_json
+
+
+class TestBenchPayload:
+    def test_numpy_values_coerced(self):
+        rows = [{"fps": np.float64(12.5), "rays": np.int64(2304),
+                 "ok": np.bool_(True), "vec": np.arange(3)}]
+        payload = bench_payload("figXX", rows, 1.25)
+        text = json.dumps(payload)  # must not raise
+        back = json.loads(text)
+        assert back["rows"][0] == {"fps": 12.5, "rays": 2304, "ok": True,
+                                   "vec": [0, 1, 2]}
+
+    def test_nan_and_inf_stay_parseable(self):
+        rows = [{"miss": float("nan"), "speedup": float("inf")}]
+        back = json.loads(json.dumps(bench_payload("f", rows, 0.0)))
+        assert back["rows"][0]["miss"] == "nan"
+        assert back["rows"][0]["speedup"] == "inf"
+
+    def test_config_scale_from_dataclass(self):
+        payload = bench_payload("f", [], 0.0, config=FAST)
+        assert payload["config_scale"]["image_size"] == FAST.image_size
+        assert payload["config_scale"]["window"] == FAST.window
+
+    def test_extra_section(self):
+        payload = bench_payload("f", [], 0.0, extra={"fps": np.float32(3.0)})
+        assert payload["extra"]["fps"] == 3.0
+
+
+class TestWriteBenchJson:
+    def test_creates_directory_and_file(self, tmp_path):
+        target = tmp_path / "nested" / "artifacts"
+        path = write_bench_json(target, "fig07", [{"overlap": 0.98}], 2.0,
+                                config=FAST)
+        assert path == target / "BENCH_fig07.json"
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 1
+        assert payload["figure"] == "fig07"
+        assert payload["wall_time_s"] == 2.0
+        assert payload["rows"] == [{"overlap": 0.98}]
+
+    def test_overwrites_previous_run(self, tmp_path):
+        write_bench_json(tmp_path, "fig07", [{"v": 1}], 1.0)
+        path = write_bench_json(tmp_path, "fig07", [{"v": 2}], 1.0)
+        assert json.loads(path.read_text())["rows"] == [{"v": 2}]

@@ -6,7 +6,6 @@ from repro.hw import (
     FrameWorkload,
     GatherTraffic,
     GatheringUnitModel,
-    GPUConfig,
     GPUModel,
     GUConfig,
     NPUConfig,

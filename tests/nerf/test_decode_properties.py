@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.nerf import SHDecoder, sh_basis_deg1
+from repro.nerf import SHDecoder
 
 floats = st.floats(min_value=-2.0, max_value=2.0, allow_nan=False)
 

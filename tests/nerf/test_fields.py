@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.nerf import (
-    CORE_FEATURE_DIM,
     HashGridField,
     SHDecoder,
     TensorFactorField,

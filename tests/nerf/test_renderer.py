@@ -1,7 +1,6 @@
 """Tests for the pixel-centric NeRF renderer."""
 
 import numpy as np
-import pytest
 
 from repro.metrics import psnr
 

@@ -1,7 +1,6 @@
 """Tests for ray sampling and occupancy skipping."""
 
 import numpy as np
-import pytest
 
 from repro.nerf import OccupancyGrid, UniformSampler
 
