@@ -46,6 +46,11 @@ class RayRequest:
     frame_index: int
     origins: np.ndarray  # (N, 3)
     directions: np.ndarray  # (N, 3)
+    # Camera pose the rays were generated from.  Reference requests always
+    # carry it: full-frame rays are a pure function of (pose, intrinsics),
+    # which is what lets the engine answer repeated references from the
+    # shared cross-session cache.
+    pose: np.ndarray | None = None
 
     @property
     def num_rays(self) -> int:
@@ -155,7 +160,7 @@ class SparwRenderer:
         flat_d = directions.reshape(-1, 3)
         out = yield RayRequest(kind="reference", frame_index=frame_index,
                                origins=origins.reshape(-1, 3),
-                               directions=flat_d)
+                               directions=flat_d, pose=camera.c2w.copy())
         return self.renderer.compose_frame(camera, flat_d, out), out.stats
 
     def _drive(self, gen):

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..workloads.cache import pose_hash
 from .scheduler import RoundRobinScheduler
 from .session import RenderSession
 
@@ -40,17 +41,29 @@ def batch_key(renderer) -> tuple | None:
 
 @dataclass
 class BatchStats:
-    """How much ray work the engine coalesced across sessions."""
+    """How much ray work the engine coalesced across sessions.
+
+    ``requests`` counts only requests answered by *rendering* (flattened
+    into a batched field evaluation); requests served from the shared
+    reference cache — direct hits and same-round coalesced followers —
+    are counted in ``cache_hits`` instead, so the total served is
+    ``requests + cache_hits``.
+    """
 
     rounds: int = 0
-    requests: int = 0  # session-level ray requests served
+    requests: int = 0  # session-level ray requests actually rendered
     nerf_calls: int = 0  # batched field evaluations issued
     total_rays: int = 0
     max_batch_rays: int = 0
+    cache_hits: int = 0  # requests answered from the shared reference cache
 
     @property
     def requests_per_call(self) -> float:
-        """Mean session requests folded into one field evaluation."""
+        """Mean *rendered* requests folded into one field evaluation.
+
+        Cache-served requests are excluded: they measure render work
+        avoided entirely, not batching density.
+        """
         return self.requests / self.nerf_calls if self.nerf_calls else 0.0
 
     @property
@@ -93,10 +106,18 @@ class MultiSessionEngine:
         an undersized budget makes the scheduler's priorities visible:
         lagging sessions are served, leading ones wait.  ``None`` serves
         every runnable session each round.
+    reference_cache:
+        Optional shared :class:`~repro.workloads.cache.SharedLRUCache` of
+        full-frame reference render outputs.  Reference requests of
+        sessions carrying a content-addressed ``cache_key`` are answered
+        from it (and identical requests arriving in the same round share
+        one evaluation).  Because rendering is deterministic, cached
+        serving is bit-identical to uncached serving.  ``None`` disables
+        cross-session reference reuse.
     """
 
     def __init__(self, sessions: list, scheduler=None,
-                 ray_budget: int | None = None):
+                 ray_budget: int | None = None, reference_cache=None):
         ids = [s.session_id for s in sessions]
         if len(set(ids)) != len(ids):
             raise ValueError("session ids must be unique")
@@ -105,6 +126,7 @@ class MultiSessionEngine:
         self.sessions = list(sessions)
         self.scheduler = scheduler or RoundRobinScheduler()
         self.ray_budget = ray_budget
+        self.reference_cache = reference_cache
 
     def run(self) -> EngineResult:
         """Serve every session to completion; returns the combined result."""
@@ -124,30 +146,84 @@ class MultiSessionEngine:
     # -- internals --------------------------------------------------------------
 
     def _select(self, ordered: list) -> list:
-        """Prefix of the scheduler ordering that fits the ray budget."""
+        """Prefix of the scheduler ordering that fits the ray budget.
+
+        Requests that will be answered from the reference cache (already
+        cached, or coalescing with an identical request earlier in this
+        round's ordering) render zero new rays, so they don't consume
+        budget.
+        """
         if self.ray_budget is None:
             return ordered
         served, spent = [], 0
+        seen_keys: set = set()
         for session in ordered:
-            rays = session.pending_request.num_rays
+            ckey = self._reference_cache_key(session)
+            if ckey is not None and (ckey in seen_keys
+                                     or ckey in self.reference_cache):
+                rays = 0
+            else:
+                rays = session.pending_request.num_rays
+                if ckey is not None:
+                    seen_keys.add(ckey)
             if served and spent + rays > self.ray_budget:
                 break
             served.append(session)
             spent += rays
         return served
 
+    def _reference_cache_key(self, session: RenderSession) -> tuple | None:
+        """Shared-cache key of the session's pending request, if cacheable.
+
+        Only full-frame reference requests of sessions with a
+        content-addressed workload identity qualify, and only when the
+        renderer is deterministic (a jittered sampler would make "the same
+        reference" a different image every time).
+        """
+        if self.reference_cache is None or session.cache_key is None:
+            return None
+        request = session.pending_request
+        if request.kind != "reference" or request.pose is None:
+            return None
+        if batch_key(session.renderer) is None:  # stochastic sampler
+            return None
+        return (session.cache_key, pose_hash(request.pose), request.num_rays)
+
+    @staticmethod
+    def _output_size(output) -> int:
+        return int(output.rgb.nbytes + output.depth_t.nbytes
+                   + output.opacity.nbytes)
+
     def _serve_round(self, served: list, stats: BatchStats) -> None:
-        """Batch the pending requests of ``served`` by renderer and answer."""
+        """Batch the pending requests of ``served`` by renderer and answer.
+
+        With a reference cache attached, cached reference requests are
+        answered without touching the renderer, and identical reference
+        requests arriving in the same round (sessions consuming the same
+        content in lockstep) coalesce into a single evaluation.
+        """
         groups: dict = {}
+        followers: dict = {}  # cache key -> sessions awaiting the primary
         for index, session in enumerate(served):
+            ckey = self._reference_cache_key(session)
+            if ckey is not None:
+                if ckey in followers:  # coalesce with this round's primary
+                    followers[ckey].append(session)
+                    continue
+                cached = self.reference_cache.get(ckey)
+                if cached is not None:
+                    stats.cache_hits += 1
+                    session.deliver(cached)
+                    continue
+                followers[ckey] = []
             key = batch_key(session.renderer)
             if key is None:  # stochastic sampler: one call per request
                 key = ("solo", index)
-            groups.setdefault(key, []).append(session)
+            groups.setdefault(key, []).append((session, ckey))
 
         for members in groups.values():
-            renderer = members[0].renderer
-            requests = [s.pending_request for s in members]
+            renderer = members[0][0].renderer
+            requests = [s.pending_request for s, _ in members]
             bundles = [(r.origins, r.directions) for r in requests]
             outputs = renderer.render_ray_batch(bundles)
             stats.nerf_calls += 1
@@ -155,5 +231,15 @@ class MultiSessionEngine:
             batch_rays = sum(r.num_rays for r in requests)
             stats.total_rays += batch_rays
             stats.max_batch_rays = max(stats.max_batch_rays, batch_rays)
-            for session, output in zip(members, outputs):
+            for (session, ckey), output in zip(members, outputs):
+                if ckey is not None:
+                    self.reference_cache.put(ckey, output,
+                                             size_bytes=self._output_size(output))
                 session.deliver(output)
+                for follower in (followers.get(ckey, ())
+                                 if ckey is not None else ()):
+                    # Followers read the entry the primary just inserted, so
+                    # coalesced requests register as cache hits too.
+                    shared = self.reference_cache.get(ckey)
+                    stats.cache_hits += 1
+                    follower.deliver(shared if shared is not None else output)

@@ -34,16 +34,30 @@ class RenderSession:
     fps_target:
         Frame-rate the user expects; deadline scheduling orders sessions by
         how far each one has fallen behind this rate.
+    cache_key:
+        Optional content-addressed identity of the session's workload
+        (spec hash + config hash, see
+        :meth:`~repro.workloads.WorkloadSpec.cache_key`).  Sessions that
+        share a ``cache_key`` render identical references for identical
+        poses, so the engine may answer their reference requests from the
+        shared cross-session cache.  ``None`` disables reference caching
+        for this session.
+    workload:
+        Optional spec this session was built from (opaque to the engine;
+        the serving harness reads it back for per-session pricing).
     """
 
     def __init__(self, session_id: str, sparw: SparwRenderer, poses: list,
-                 fps_target: float = 30.0):
+                 fps_target: float = 30.0, cache_key: str | None = None,
+                 workload=None):
         if fps_target <= 0.0:
             raise ValueError("fps_target must be positive")
         self.session_id = str(session_id)
         self.sparw = sparw
         self.poses = list(poses)
         self.fps_target = float(fps_target)
+        self.cache_key = cache_key
+        self.workload = workload
         self.result = SparwSequenceResult()
         self._gen = sparw.step(self.poses)
         self._pending: RayRequest | None = None

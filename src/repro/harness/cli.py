@@ -7,11 +7,16 @@ shell::
     python -m repro.harness.cli fig19 --fast
     python -m repro.harness.cli all --fast --json-out bench-artifacts
     python -m repro.harness.cli serve --sessions 8 --fast
+    python -m repro.harness.cli workloads
+    python -m repro.harness.cli serve --fast \\
+        --workload vr-lego:3 --workload dolly-chair:2
 
 ``--fast`` uses the reduced test-scale configuration (seconds per figure);
 the default scale matches the benchmarks (minutes for the quality figures).
 ``--json-out DIR`` persists every run's rows as ``BENCH_<figure>.json`` so
-automated runs leave machine-readable perf history.
+automated runs leave machine-readable perf history.  ``serve --workload
+NAME[:N]`` mixes named workload specs (see the ``workloads`` command) into
+one heterogeneous serve with the shared cross-session reference cache.
 """
 
 from __future__ import annotations
@@ -21,11 +26,13 @@ import sys
 import time
 
 from ..hw.soc import VARIANTS
+from ..workloads import list_workloads, parse_mix
 from .configs import ALGORITHMS, DEFAULT, FAST, scene_of
 from .experiments import EXPERIMENTS
 from .reporting import print_table, write_bench_json
 
 SERVE_COMMAND = "serve"
+WORKLOADS_COMMAND = "workloads"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,8 +42,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "serve a batched multi-session rendering workload.")
     parser.add_argument(
         "figure",
-        help="figure id (e.g. fig07), 'all', 'serve', or 'list' to print "
-             "available ids")
+        help="figure id (e.g. fig07), 'all', 'serve', 'workloads' to list "
+             "the named workload registry, or 'list' to print available ids")
     parser.add_argument(
         "--fast", action="store_true",
         help="use the reduced test-scale configuration")
@@ -45,21 +52,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write BENCH_<figure>.json artifacts into DIR")
     serve = parser.add_argument_group(
         "serve options", "only used with the 'serve' command")
-    serve.add_argument("--sessions", type=int, default=4,
-                       help="number of concurrent sessions (default 4)")
+    serve.add_argument("--sessions", type=int, default=None,
+                       help="number of concurrent sessions (default 4; "
+                            "with --workload the mix counts decide)")
     serve.add_argument("--frames", type=int, default=None,
                        help="frames per session (default: config scale)")
     serve.add_argument("--scheduler", choices=("round_robin", "deadline"),
                        default="round_robin",
                        help="session scheduling policy")
-    serve.add_argument("--variant", choices=VARIANTS, default="cicero",
-                       help="SoC variant to price frames under")
+    serve.add_argument("--variant", choices=VARIANTS, default=None,
+                       help="SoC variant to price frames under "
+                            "(default cicero)")
     serve.add_argument("--scene", action="append", dest="scenes",
                        metavar="NAME",
                        help="scene(s) to cycle sessions over (repeatable; "
                             "default lego)")
-    serve.add_argument("--algorithm", default="directvoxgo",
-                       help="NeRF algorithm for every session")
+    serve.add_argument("--algorithm", default=None,
+                       help="NeRF algorithm for every session "
+                            "(default directvoxgo)")
+    serve.add_argument("--workload", action="append", dest="workloads",
+                       metavar="NAME[:N]",
+                       help="named workload spec to serve, optionally "
+                            "duplicated N times (repeatable; see the "
+                            "'workloads' command; the spec fixes scene/"
+                            "algorithm/variant, so --scene/--algorithm/"
+                            "--variant/--sessions do not apply)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the shared cross-session reference "
+                            "cache (outputs are bit-identical either way)")
     return parser
 
 
@@ -73,36 +93,74 @@ def run_figure(name: str, config, json_dir: str | None = None) -> None:
         write_bench_json(json_dir, name, rows, elapsed, config=config)
 
 
+def run_workloads_listing() -> int:
+    rows = [spec.describe() for spec in list_workloads()]
+    print_table(rows, title=f"workload registry ({len(rows)} specs)")
+    return 0
+
+
 def run_serve(args, config) -> int:
     from .serve import run_serve as serve_experiment
-    if args.sessions < 1:
-        print("serve: --sessions must be >= 1", file=sys.stderr)
-        return 2
     if args.frames is not None and args.frames < 1:
         print("serve: --frames must be >= 1", file=sys.stderr)
         return 2
-    if args.algorithm not in ALGORITHMS:
-        print(f"serve: unknown algorithm {args.algorithm!r}; one of "
-              f"{ALGORITHMS}", file=sys.stderr)
-        return 2
-    scenes = tuple(args.scenes or ("lego",))
-    for name in scenes:
+    mix = None
+    if args.workloads:
+        if args.scenes or args.algorithm is not None \
+                or args.variant is not None or args.sessions is not None:
+            print("serve: --workload cannot be combined with --scene/"
+                  "--algorithm/--variant/--sessions (the specs and mix "
+                  "counts fix them)", file=sys.stderr)
+            return 2
         try:
-            scene_of(name)
-        except KeyError as exc:
+            mix = parse_mix(args.workloads)
+        except (KeyError, ValueError) as exc:
             print(f"serve: {exc.args[0]}", file=sys.stderr)
             return 2
+        num_sessions = sum(count for _, count in mix)
+    else:
+        sessions = 4 if args.sessions is None else args.sessions
+        if sessions < 1:
+            print("serve: --sessions must be >= 1", file=sys.stderr)
+            return 2
+        algorithm = args.algorithm or "directvoxgo"
+        if algorithm not in ALGORITHMS:
+            print(f"serve: unknown algorithm {algorithm!r}; one of "
+                  f"{ALGORITHMS}", file=sys.stderr)
+            return 2
+        scenes = tuple(args.scenes or ("lego",))
+        for name in scenes:
+            try:
+                scene_of(name)
+            except KeyError as exc:
+                print(f"serve: {exc.args[0]}", file=sys.stderr)
+                return 2
+        num_sessions = sessions
     started = time.time()
-    rows, summary = serve_experiment(
-        config, sessions=args.sessions, scheduler=args.scheduler,
-        variant=args.variant, frames=args.frames,
-        scene_names=scenes, algorithm=args.algorithm)
+    if mix is not None:
+        rows, summary = serve_experiment(
+            config, scheduler=args.scheduler, frames=args.frames,
+            workloads=mix, use_cache=not args.no_cache)
+    else:
+        rows, summary = serve_experiment(
+            config, sessions=sessions, scheduler=args.scheduler,
+            variant=args.variant or "cicero", frames=args.frames,
+            scene_names=scenes, algorithm=algorithm,
+            use_cache=not args.no_cache)
     elapsed = time.time() - started
-    print_table(rows, title=f"serve: {args.sessions} sessions "
+    print_table(rows, title=f"serve: {num_sessions} sessions "
                             f"({elapsed:.1f}s wall)")
-    print_table([summary], title="aggregate")
+    cache = summary.get("cache") or {}
+    print_table([{k: v for k, v in summary.items() if k != "cache"}],
+                title="aggregate")
+    if cache:
+        print_table([{"cache": name, **stats}
+                     for name, stats in sorted(cache.items())],
+                    title="shared caches (counters: this run; "
+                          "entries/bytes: current totals)")
     if args.json_out is not None:
-        write_bench_json(args.json_out, SERVE_COMMAND, rows, elapsed,
+        name = "serve_mixed" if mix is not None else SERVE_COMMAND
+        write_bench_json(args.json_out, name, rows, elapsed,
                          config=config, extra=summary)
     return 0
 
@@ -123,7 +181,10 @@ def main(argv=None) -> int:
         for name in sorted(EXPERIMENTS):
             print(name)
         print(SERVE_COMMAND)
+        print(WORKLOADS_COMMAND)
         return 0
+    if args.figure == WORKLOADS_COMMAND:
+        return run_workloads_listing()
     if args.figure == SERVE_COMMAND:
         return run_serve(args, config)
     if args.figure == "all":
@@ -133,7 +194,7 @@ def main(argv=None) -> int:
     if args.figure not in EXPERIMENTS:
         known = ", ".join(sorted(EXPERIMENTS))
         print(f"unknown figure {args.figure!r}; expected one of: {known}, "
-              f"all, serve, list", file=sys.stderr)
+              f"all, serve, workloads, list", file=sys.stderr)
         return 2
     run_figure(args.figure, config, json_dir=args.json_out)
     return 0

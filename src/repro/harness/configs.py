@@ -17,6 +17,7 @@ suite runs in minutes.  EXPERIMENTS.md records the mapping.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -29,6 +30,7 @@ from ..nerf.sampling import OccupancyGrid, UniformSampler
 from ..scenes.library import get_scene
 from ..scenes.raytracer import RayTracer
 from ..scenes.trajectory import orbit_trajectory
+from ..workloads.cache import FIELD_CACHE
 
 __all__ = ["ExperimentConfig", "DEFAULT", "FAST", "ALGORITHMS",
            "build_field", "build_renderer", "make_camera",
@@ -107,26 +109,38 @@ def _cached_scene(name: str):
     return get_scene(name)
 
 
-@lru_cache(maxsize=None)
-def _cached_reference_grid(scene_name: str, resolution: int,
-                           feature_dim: int, sharpness: float,
-                           max_density: float) -> VoxelGridField:
-    scene = scene_of(scene_name)
-    return VoxelGridField.bake(scene, resolution=resolution,
-                               feature_dim=feature_dim,
-                               density_sharpness=sharpness,
-                               max_density=max_density)
+def _config_key(config: ExperimentConfig) -> tuple:
+    return dataclasses.astuple(config)
 
 
-@lru_cache(maxsize=None)
-def _cached_field(algorithm: str, scene_name: str,
-                  config: ExperimentConfig):
+def _field_size(fld) -> int:
+    return int(getattr(fld, "model_size_bytes", 0))
+
+
+def _reference_resolution(algorithm: str, config: ExperimentConfig) -> int:
+    return (config.grid_resolution if algorithm == "directvoxgo"
+            else max(config.hash_finest_resolution, config.tensorf_resolution))
+
+
+def _reference_grid(scene_name: str, resolution: int,
+                    config: ExperimentConfig) -> VoxelGridField:
+    key = ("refgrid", scene_name, resolution, config.feature_dim,
+           config.density_sharpness, config.max_density)
+    return FIELD_CACHE.get_or_build(
+        key,
+        lambda: VoxelGridField.bake(scene_of(scene_name),
+                                    resolution=resolution,
+                                    feature_dim=config.feature_dim,
+                                    density_sharpness=config.density_sharpness,
+                                    max_density=config.max_density),
+        size_of=_field_size)
+
+
+def _bake_field(algorithm: str, scene_name: str, config: ExperimentConfig):
     scene = scene_of(scene_name)
-    reference = _cached_reference_grid(
-        scene_name,
-        config.grid_resolution if algorithm == "directvoxgo"
-        else max(config.hash_finest_resolution, config.tensorf_resolution),
-        config.feature_dim, config.density_sharpness, config.max_density)
+    reference = _reference_grid(scene_name,
+                                _reference_resolution(algorithm, config),
+                                config)
     if algorithm == "directvoxgo":
         return reference
     if algorithm == "instant_ngp":
@@ -145,38 +159,44 @@ def _cached_field(algorithm: str, scene_name: str,
 
 def build_field(algorithm: str, scene_name: str,
                 config: ExperimentConfig = DEFAULT):
-    """Baked field for (algorithm, scene), cached per process."""
-    return _cached_field(algorithm, scene_name, config)
+    """Baked field for (algorithm, scene), from the bounded shared cache."""
+    key = ("field", algorithm, scene_name, _config_key(config))
+    return FIELD_CACHE.get_or_build(
+        key, lambda: _bake_field(algorithm, scene_name, config),
+        size_of=_field_size)
 
 
-@lru_cache(maxsize=None)
-def _cached_occupancy(algorithm: str, scene_name: str,
-                      config: ExperimentConfig) -> OccupancyGrid:
+def _build_occupancy(algorithm: str, scene_name: str,
+                     config: ExperimentConfig) -> OccupancyGrid:
     # All algorithms share the dense reference grid's occupancy (they model
     # the same scene); this mirrors the trained occupancy grids NeRF
     # implementations maintain and keeps sample counts comparable.
-    reference = _cached_reference_grid(
-        scene_name,
-        config.grid_resolution if algorithm == "directvoxgo"
-        else max(config.hash_finest_resolution, config.tensorf_resolution),
-        config.feature_dim, config.density_sharpness, config.max_density)
+    reference = _reference_grid(scene_name,
+                                _reference_resolution(algorithm, config),
+                                config)
     return OccupancyGrid.from_field(reference, resolution=32)
 
 
-@lru_cache(maxsize=None)
 def build_renderer(algorithm: str, scene_name: str,
                    config: ExperimentConfig = DEFAULT) -> NeRFRenderer:
     """Renderer with occupancy-culled sampling and the scene's background.
 
-    Cached per (algorithm, scene, config): concurrent sessions of the same
-    workload share one renderer instance, which also lets the multi-session
-    engine batch their ray work against one field.
+    Served from the bounded :data:`~repro.workloads.cache.FIELD_CACHE`
+    (previously an *unbounded* ``lru_cache``, which grew without limit
+    under many-scene serving): while an entry is live, concurrent sessions
+    of the same workload share one renderer instance, which also lets the
+    multi-session engine batch their ray work against one field.
     """
-    field = build_field(algorithm, scene_name, config)
-    occupancy = _cached_occupancy(algorithm, scene_name, config)
-    sampler = UniformSampler(config.samples_per_ray, occupancy=occupancy)
-    scene = scene_of(scene_name)
-    return NeRFRenderer(field, sampler, background=scene.background)
+    key = ("renderer", algorithm, scene_name, _config_key(config))
+
+    def _build() -> NeRFRenderer:
+        field = build_field(algorithm, scene_name, config)
+        occupancy = _build_occupancy(algorithm, scene_name, config)
+        sampler = UniformSampler(config.samples_per_ray, occupancy=occupancy)
+        scene = scene_of(scene_name)
+        return NeRFRenderer(field, sampler, background=scene.background)
+
+    return FIELD_CACHE.get_or_build(key, _build)
 
 
 @lru_cache(maxsize=None)

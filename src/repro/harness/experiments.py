@@ -29,6 +29,7 @@ from ..memsys.cache import simulate_belady
 from ..memsys.trace import analyze_streaming, interleaved_gather_trace
 from ..metrics.quality import mean_psnr
 from ..scenes.library import SYNTHETIC_SCENES
+from ..workloads import WorkloadSpec
 from .configs import (
     ALGORITHMS,
     DEFAULT,
@@ -40,6 +41,7 @@ from .configs import (
 
 __all__ = [
     "full_frame_profile", "sparw_workloads_from_result", "FrameProfile",
+    "figure_workload", "run_sparw",
     "fig02_fps_model_size", "fig03_stage_breakdown", "fig04_nonstreaming",
     "fig05_cache_miss", "fig06_bank_conflicts", "fig07_overlap",
     "fig09_disocclusion", "fig16_quality", "fig17_gpu_speedup",
@@ -147,29 +149,41 @@ def _scale_stats(stats, factor: float):
     )
 
 
+def figure_workload(algorithm: str, scene_name: str = "lego",
+                    window: int | None = None, policy: str = "extrapolated",
+                    phi: float | None = None,
+                    degrees_per_frame: float | None = None) -> WorkloadSpec:
+    """The figure harness's SPARW configuration as a declarative spec.
+
+    Figure experiments and the serving layer consume the same
+    :class:`WorkloadSpec` shape; an unset ``degrees_per_frame`` resolves to
+    the config scale's value at build time, keeping spec-built orbits
+    pose-identical to :func:`ground_truth_sequence` trajectories.
+    """
+    params = {}
+    if degrees_per_frame is not None:
+        params["degrees_per_frame"] = degrees_per_frame
+    return WorkloadSpec.make(
+        f"fig-{algorithm}-{scene_name}", scene=scene_name,
+        algorithm=algorithm, trajectory="orbit", window=window,
+        policy=policy, phi=phi, **params)
+
+
 @lru_cache(maxsize=None)
-def _cached_sparw_sequence(algorithm: str, scene_name: str,
-                           config: ExperimentConfig, window: int,
-                           policy: str, phi: float | None,
-                           degrees_per_frame: float | None
+def _cached_sparw_sequence(spec: WorkloadSpec, config: ExperimentConfig
                            ) -> SparwSequenceResult:
-    trajectory, _ = ground_truth_sequence(
-        scene_name, config, degrees_per_frame=degrees_per_frame)
-    renderer = build_renderer(algorithm, scene_name, config)
-    camera = make_camera(config)
-    sparw = SparwRenderer(renderer, camera, window=window, policy=policy,
-                          angle_threshold_deg=phi)
-    return sparw.render_sequence(trajectory.poses)
+    return spec.run_solo(config)
 
 
 def run_sparw(algorithm: str, scene_name: str = "lego",
               config: ExperimentConfig = DEFAULT, window: int | None = None,
               policy: str = "extrapolated", phi: float | None = None,
               degrees_per_frame: float | None = None) -> SparwSequenceResult:
-    """Cached SPARW sequence render."""
-    return _cached_sparw_sequence(algorithm, scene_name, config,
-                                  window or config.window, policy, phi,
-                                  degrees_per_frame)
+    """Cached SPARW sequence render of a figure workload spec."""
+    spec = figure_workload(algorithm, scene_name, window=window,
+                           policy=policy, phi=phi,
+                           degrees_per_frame=degrees_per_frame)
+    return _cached_sparw_sequence(spec, config)
 
 
 def _sequence_psnr(result_frames: list, gt_frames: list) -> float:

@@ -1,21 +1,56 @@
 """Multi-session serving experiment: N users, one SoC, batched rendering.
 
-Builds N viewing sessions (each its own orbit trajectory around a scene),
-serves them through the batched :class:`~repro.engine.MultiSessionEngine`,
-and prices the result with the aggregate throughput model — the workload
-behind ``python -m repro.harness.cli serve``.
+Builds N viewing sessions from declarative :class:`WorkloadSpec`\\ s —
+either a named mix (``--workload vr-lego:3 --workload dolly-chair``) or the
+legacy scene/algorithm cycling — serves them through the batched
+:class:`~repro.engine.MultiSessionEngine` with the shared cross-session
+reference cache attached, and prices the result with the aggregate
+throughput model.  This is the workload behind
+``python -m repro.harness.cli serve``.
 """
 
 from __future__ import annotations
 
-from ..core.sparw.pipeline import SparwRenderer
-from ..engine import MultiSessionEngine, RenderSession, make_scheduler
+from ..engine import MultiSessionEngine, make_scheduler
 from ..hw.serving import aggregate_serving
 from ..hw.soc import SoCModel
-from ..scenes.trajectory import orbit_trajectory
-from .configs import DEFAULT, ExperimentConfig, build_renderer, make_camera
+from ..workloads import (
+    FIELD_CACHE,
+    REFERENCE_CACHE,
+    WorkloadSpec,
+    build_mixed_sessions,
+    cache_report,
+    parse_mix,
+)
+from .configs import DEFAULT, ExperimentConfig
 
-__all__ = ["build_sessions", "run_serve"]
+__all__ = ["legacy_mix", "build_sessions", "run_serve"]
+
+
+def legacy_mix(num_sessions: int, scene_names: tuple = ("lego",),
+               algorithm: str = "directvoxgo",
+               frames: int | None = None,
+               window: int | None = None,
+               fps_target: float = 30.0) -> list:
+    """The pre-workload-registry serve shape as a list of (spec, count).
+
+    N sessions cycling over ``scene_names``, each on its own orbit with
+    start angles spread around the circle so every user sees different
+    content (no two sessions share reference renders — the cache-free
+    worst case the workload registry's duplicated mixes contrast with).
+    """
+    if num_sessions < 1:
+        raise ValueError("num_sessions must be >= 1")
+    mix = []
+    for i in range(num_sessions):
+        scene = scene_names[i % len(scene_names)]
+        spec = WorkloadSpec.make(
+            f"user{i:02d}-{scene}", scene=scene, algorithm=algorithm,
+            trajectory="orbit", frames=frames, window=window,
+            fps_target=fps_target,
+            start_angle_deg=360.0 * i / num_sessions)
+        mix.append((spec, 1))
+    return mix
 
 
 def build_sessions(config: ExperimentConfig, num_sessions: int,
@@ -24,51 +59,65 @@ def build_sessions(config: ExperimentConfig, num_sessions: int,
                    frames: int | None = None,
                    window: int | None = None,
                    fps_target: float = 30.0) -> list:
-    """N sessions cycling over ``scene_names``, each on its own orbit.
-
-    Sessions viewing the same scene share one (cached) renderer, so the
-    engine batches their ray work into shared field queries; start angles
-    are spread around the orbit so every user sees different content.
-    """
-    if num_sessions < 1:
-        raise ValueError("num_sessions must be >= 1")
-    frames = config.num_frames if frames is None else int(frames)
-    window = config.window if window is None else int(window)
-    sessions = []
-    for i in range(num_sessions):
-        scene = scene_names[i % len(scene_names)]
-        renderer = build_renderer(algorithm, scene, config)
-        trajectory = orbit_trajectory(
-            frames, radius=config.orbit_radius,
-            degrees_per_frame=config.degrees_per_frame,
-            start_angle_deg=360.0 * i / num_sessions)
-        sparw = SparwRenderer(renderer, make_camera(config), window=window)
-        sessions.append(RenderSession(f"user{i:02d}-{scene}", sparw,
-                                      trajectory.poses,
-                                      fps_target=fps_target))
-    return sessions
+    """Engine sessions for the legacy scene-cycling serve shape."""
+    return build_mixed_sessions(
+        legacy_mix(num_sessions, scene_names=scene_names,
+                   algorithm=algorithm, frames=frames, window=window,
+                   fps_target=fps_target),
+        config)
 
 
 def run_serve(config: ExperimentConfig = DEFAULT, sessions: int = 8,
               scheduler: str = "round_robin", variant: str = "cicero",
               frames: int | None = None, scene_names: tuple = ("lego",),
-              algorithm: str = "directvoxgo") -> tuple:
-    """Serve ``sessions`` concurrent users; returns (per-session rows, summary).
+              algorithm: str = "directvoxgo",
+              workloads=None, use_cache: bool = True) -> tuple:
+    """Serve concurrent users; returns (per-session rows, summary).
 
-    The scheduler choice also picks the matching within-round service order
-    for the latency simulation: round-robin serves in arrival order,
+    ``workloads`` selects a named mix (``"vr-lego:3,dolly-chair"``, a list
+    of ``NAME[:N]`` items, or ``(spec, count)`` pairs); when ``None`` the
+    legacy ``sessions``/``scene_names``/``algorithm`` cycling is used.
+    ``use_cache`` attaches the process-global, byte-bounded reference
+    cache (serving stays bit-identical either way; only the work
+    changes).  Because the cache outlives the run, repeating a serve in
+    one process re-serves its references from the cache — legacy-path
+    runs, whose sessions are all distinct, only benefit from this
+    cross-run reuse.
+
+    The scheduler choice also picks the matching within-round service
+    order for the latency simulation: round-robin serves in arrival order,
     deadline serves shortest-job-first to shave the tail.
     """
-    built = build_sessions(config, sessions, scene_names=scene_names,
-                           algorithm=algorithm, frames=frames)
-    engine = MultiSessionEngine(built, scheduler=make_scheduler(scheduler))
+    if workloads is not None:
+        mix = parse_mix(workloads)
+    else:
+        mix = legacy_mix(sessions, scene_names=scene_names,
+                         algorithm=algorithm)
+    field_before = FIELD_CACHE.stats.snapshot()
+    reference_before = REFERENCE_CACHE.stats.snapshot()
+
+    built = build_mixed_sessions(mix, config, frames=frames)
+    engine = MultiSessionEngine(
+        built, scheduler=make_scheduler(scheduler),
+        reference_cache=REFERENCE_CACHE if use_cache else None)
     result = engine.run()
+
+    # Per-session variants: each spec prices under its own SoC variant
+    # (the legacy path keeps the caller's single variant).  Every session
+    # carries its spec, so the mapping never depends on build order.
+    session_variants = {
+        s.session_id: (s.workload.variant if workloads is not None
+                       and s.workload is not None else variant)
+        for s in built}
 
     soc = SoCModel(feature_dim=config.feature_dim)
     order = "sjf" if scheduler == "deadline" else "arrival"
     report = aggregate_serving(
         {s.session_id: s.result for s in result.sessions},
-        soc=soc, variant=variant, order=order)
+        soc=soc, variant=variant, order=order,
+        variants=session_variants,
+        cache_stats=cache_report(field_since=field_before,
+                                 reference_since=reference_before))
 
     rows = []
     for session, stats in zip(result.sessions, report.per_session):
@@ -82,10 +131,15 @@ def run_serve(config: ExperimentConfig = DEFAULT, sessions: int = 8,
             "p95_latency_ms": stats.p95_latency_s * 1e3,
         })
     batch = result.batch
+    ref_cache = report.cache["references"]
+    variants_used = sorted({session_variants.get(s.session_id, variant)
+                            for s in result.sessions})
     summary = {
         "sessions": report.num_sessions,
         "scheduler": scheduler,
-        "variant": variant,
+        "variant": (variants_used[0] if len(variants_used) == 1
+                    else "mixed"),
+        "cache_enabled": use_cache,
         "total_frames": report.total_frames,
         "aggregate_fps": report.aggregate_fps,
         "mean_latency_ms": report.mean_latency_s * 1e3,
@@ -93,8 +147,14 @@ def run_serve(config: ExperimentConfig = DEFAULT, sessions: int = 8,
         "worst_latency_ms": report.worst_latency_s * 1e3,
         "nerf_calls": batch.nerf_calls,
         "requests_per_call": batch.requests_per_call,
+        "total_rays": batch.total_rays,
         "mean_batch_rays": batch.mean_batch_rays,
         "max_batch_rays": batch.max_batch_rays,
         "rounds": batch.rounds,
+        "ref_cache_hits": ref_cache["hits"],
+        "ref_cache_misses": ref_cache["misses"],
+        "ref_cache_hit_rate": ref_cache["hit_rate"],
+        "ref_cache_evictions": ref_cache["evictions"],
+        "cache": report.cache,
     }
     return rows, summary

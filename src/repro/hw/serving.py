@@ -36,7 +36,20 @@ class SessionServingStats:
 
 @dataclass
 class ServingReport:
-    """Aggregate service metrics across every session."""
+    """Aggregate service metrics across every session.
+
+    ``cache`` carries the shared cross-session cache counters of the run
+    (``{"references": {hits, misses, evictions, hit_rate, ...}, "fields":
+    {...}}``) when the serving harness ran with the workload-layer caches
+    attached; ``None`` means uncached serving.
+
+    The latency/throughput model is deliberately *cache-blind*: frames
+    are priced from their recorded per-frame stats, which are identical
+    with and without the cache (the bit-parity contract), so
+    ``aggregate_fps``/latency do not move when caching is enabled.  The
+    cache's savings show up in the engine's ``nerf_calls``/``total_rays``
+    and in the ``cache`` counters, not here.
+    """
 
     num_sessions: int
     total_frames: int
@@ -46,6 +59,7 @@ class ServingReport:
     p95_latency_s: float
     worst_latency_s: float
     per_session: list = field(default_factory=list)
+    cache: dict | None = None
 
 
 def price_session_frames(result, soc: SoCModel, variant: str = "cicero"
@@ -71,7 +85,9 @@ def price_session_frames(result, soc: SoCModel, variant: str = "cicero"
 
 def aggregate_serving(session_results: dict, soc: SoCModel | None = None,
                       variant: str = "cicero",
-                      order: str = "arrival") -> ServingReport:
+                      order: str = "arrival",
+                      variants: dict | None = None,
+                      cache_stats: dict | None = None) -> ServingReport:
     """Simulate interleaved service of many sessions on one SoC.
 
     Parameters
@@ -88,12 +104,22 @@ def aggregate_serving(session_results: dict, soc: SoCModel | None = None,
         engine's round-robin) or ``"sjf"`` serves cheapest frames first,
         which minimises mean queueing delay (the deadline scheduler's
         latency-oriented counterpart).
+    variants:
+        Optional ``{session_id: variant}`` overrides for heterogeneous
+        workload mixes (each session priced under its spec's variant);
+        sessions absent from the dict fall back to ``variant``.
+    cache_stats:
+        Optional shared-cache counters (from
+        :func:`repro.workloads.cache.cache_report`) to attach to the
+        report.
     """
     if order not in ("arrival", "sjf"):
         raise ValueError(f"unknown service order {order!r}")
     soc = soc or SoCModel()
-    frame_times = {sid: price_session_frames(result, soc, variant)
-                   for sid, result in session_results.items()}
+    variants = variants or {}
+    frame_times = {
+        sid: price_session_frames(result, soc, variants.get(sid, variant))
+        for sid, result in session_results.items()}
 
     latencies: dict = {sid: [] for sid in frame_times}
     clock = 0.0
@@ -137,4 +163,5 @@ def aggregate_serving(session_results: dict, soc: SoCModel | None = None,
                        if all_latencies else 0.0),
         worst_latency_s=max(all_latencies, default=0.0),
         per_session=per_session,
+        cache=cache_stats,
     )

@@ -10,7 +10,20 @@ from .library import (
 from .raytracer import Frame, RayTracer
 from .scene import DirectionalLight, Material, Scene, SceneObject
 from .sdf import SDF, Box, Cylinder, Plane, Sphere, Torus
-from .trajectory import Trajectory, handheld_trajectory, orbit_trajectory, resample_fps
+from .trajectory import (
+    TRAJECTORY_KINDS,
+    Trajectory,
+    dolly_trajectory,
+    handheld_trajectory,
+    headshake_trajectory,
+    load_pose_log,
+    make_trajectory,
+    orbit_trajectory,
+    random_walk_trajectory,
+    replay_trajectory,
+    resample_fps,
+    save_pose_log,
+)
 
 __all__ = [
     "REAL_WORLD_SCENES",
@@ -30,8 +43,16 @@ __all__ = [
     "Plane",
     "Sphere",
     "Torus",
+    "TRAJECTORY_KINDS",
     "Trajectory",
+    "dolly_trajectory",
     "handheld_trajectory",
+    "headshake_trajectory",
+    "load_pose_log",
+    "make_trajectory",
     "orbit_trajectory",
+    "random_walk_trajectory",
+    "replay_trajectory",
     "resample_fps",
+    "save_pose_log",
 ]

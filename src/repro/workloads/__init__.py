@@ -1,0 +1,50 @@
+"""Unified workload layer: declarative specs, registry, and shared caches.
+
+Every harness entry point (figure experiments, the serve CLI, the
+multi-session engine) consumes workloads through this package:
+
+* :class:`WorkloadSpec` — declarative scene x trajectory x algorithm x
+  variant x quality-tier description of one user session.
+* :mod:`~repro.workloads.registry` — named specs and serve-mix parsing
+  (``vr-lego:3,dolly-chair:2``).
+* :mod:`~repro.workloads.cache` — bounded content-addressed LRU caches
+  shared across sessions: baked fields/renderers and SPARW reference
+  renders, with hit/miss/eviction stats surfaced in serving reports.
+"""
+
+from .cache import (
+    FIELD_CACHE,
+    REFERENCE_CACHE,
+    CacheStats,
+    SharedLRUCache,
+    cache_report,
+    pose_hash,
+    reset_caches,
+)
+from .registry import (
+    WORKLOADS,
+    build_mixed_sessions,
+    get_workload,
+    list_workloads,
+    parse_mix,
+    register_workload,
+)
+from .spec import TIERS, WorkloadSpec
+
+__all__ = [
+    "FIELD_CACHE",
+    "REFERENCE_CACHE",
+    "CacheStats",
+    "SharedLRUCache",
+    "cache_report",
+    "pose_hash",
+    "reset_caches",
+    "WORKLOADS",
+    "build_mixed_sessions",
+    "get_workload",
+    "list_workloads",
+    "parse_mix",
+    "register_workload",
+    "TIERS",
+    "WorkloadSpec",
+]

@@ -1,0 +1,147 @@
+"""Named workload registry and serve-mix resolution.
+
+The registry is the run table behind ``cli workloads`` and
+``cli serve --workload NAME[:N]``: a small set of curated heterogeneous
+workloads (different scenes, trajectory shapes, algorithms, and quality
+tiers) that can be mixed into one multi-session serve.  Duplicated entries
+in a mix model *popular content*: every copy replays the identical
+trajectory, which is exactly what the shared reference cache exploits.
+"""
+
+from __future__ import annotations
+
+from .spec import WorkloadSpec
+
+__all__ = [
+    "WORKLOADS", "register_workload", "get_workload", "list_workloads",
+    "parse_mix", "build_mixed_sessions",
+]
+
+
+WORKLOADS: dict = {}
+
+
+def register_workload(spec: WorkloadSpec, replace: bool = False
+                      ) -> WorkloadSpec:
+    """Add a spec to the registry under ``spec.name``."""
+    if not replace and spec.name in WORKLOADS:
+        raise ValueError(f"workload {spec.name!r} already registered")
+    WORKLOADS[spec.name] = spec
+    return spec
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise KeyError(f"unknown workload {name!r}; one of: {known}") from None
+
+
+def list_workloads() -> list:
+    """Registry specs sorted by name."""
+    return [WORKLOADS[name] for name in sorted(WORKLOADS)]
+
+
+def parse_mix(mix) -> list:
+    """Resolve a serve mix into ``[(spec, count), ...]``.
+
+    ``mix`` is either a comma-joined string (``"vr-lego:3,dolly-chair"``),
+    an iterable of ``NAME[:N]`` items, or an iterable of
+    ``(WorkloadSpec, count)`` pairs (names in pairs resolve via the
+    registry).  Repeated entries of the same spec merge by summing their
+    counts, so ``"vr-lego,vr-lego:2"`` serves three copies.
+    """
+    if isinstance(mix, str):
+        mix = [part for part in mix.split(",") if part.strip()]
+    resolved = []
+    for item in mix:
+        if isinstance(item, tuple):
+            spec, count = item
+            if isinstance(spec, str):
+                spec = get_workload(spec)
+            count = int(count)
+        else:
+            name, _, count_str = str(item).strip().partition(":")
+            if count_str:
+                try:
+                    count = int(count_str)
+                except ValueError:
+                    raise ValueError(
+                        f"bad workload count in {item!r}; expected "
+                        "NAME or NAME:N") from None
+            else:
+                count = 1
+            spec = get_workload(name)
+        if count < 1:
+            raise ValueError(f"workload count must be >= 1, got {count} "
+                             f"for {spec.name!r}")
+        resolved.append((spec, count))
+    if not resolved:
+        raise ValueError("empty workload mix")
+    # Merge repeats of the same spec (session ids are numbered per spec,
+    # so a split mix would otherwise produce colliding ids).  Distinct
+    # specs sharing a display name would collide too — reject those.
+    merged: dict = {}
+    for spec, count in resolved:
+        merged[spec] = merged.get(spec, 0) + count
+    names = [spec.name for spec in merged]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ValueError(f"mix contains different specs under the same "
+                         f"name(s) {dupes}; session ids would collide")
+    return list(merged.items())
+
+
+def build_mixed_sessions(mix, config, frames: int | None = None) -> list:
+    """Engine sessions for a workload mix at a config scale.
+
+    Copies of one spec are *identical* sessions (same trajectory, same
+    reference poses) — many users consuming the same content — so their
+    reference renders coalesce in the shared cache.  ``frames`` overrides
+    every spec's sequence length (the CLI's ``--frames``).
+    """
+    import dataclasses
+
+    sessions = []
+    for spec, count in parse_mix(mix):
+        if frames is not None:
+            spec = dataclasses.replace(spec, frames=int(frames))
+        for i in range(count):
+            sessions.append(
+                spec.build_session(f"{spec.name}-{i:02d}", config))
+    return sessions
+
+
+def _register_builtins() -> None:
+    """Curated heterogeneous workloads (scene x trajectory x algorithm)."""
+    builtins = [
+        # The canonical VR viewing session of the paper's evaluation.
+        WorkloadSpec.make("vr-lego", scene="lego", trajectory="orbit"),
+        # Rotation-dominated head motion: high overlap, HMD-style deltas.
+        WorkloadSpec.make("vr-headshake", scene="lego",
+                          trajectory="headshake", yaw_amplitude_deg=4.0),
+        # Push-in with growing parallax; disocclusion at silhouettes.
+        WorkloadSpec.make("dolly-chair", scene="chair", trajectory="dolly",
+                          start_distance=4.0, end_distance=2.4),
+        # Seeded exploration of a specular-heavy scene.
+        WorkloadSpec.make("walk-materials", scene="materials",
+                          trajectory="random_walk", seed=7),
+        # Same motion, different field families (distinct gather behaviour).
+        WorkloadSpec.make("orbit-ngp", scene="lego", trajectory="orbit",
+                          algorithm="instant_ngp"),
+        WorkloadSpec.make("orbit-tensorf", scene="lego", trajectory="orbit",
+                          algorithm="tensorf"),
+        # Low-quality tier: half resolution/depth of the serving scale.
+        WorkloadSpec.make("preview-ship", scene="ship", trajectory="orbit",
+                          tier="preview"),
+        # Sparse-capture real-world stand-in (1 FPS-style pose deltas).
+        WorkloadSpec.make("sparse-ignatius", scene="ignatius",
+                          trajectory="orbit", window=6,
+                          degrees_per_frame=15.0),
+    ]
+    for spec in builtins:
+        register_workload(spec, replace=True)
+
+
+_register_builtins()

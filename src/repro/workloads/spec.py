@@ -1,0 +1,195 @@
+"""Declarative workload specifications: scene x trajectory x algorithm x tier.
+
+A :class:`WorkloadSpec` is the single run-table row every harness entry
+point consumes (the muBench-style idiom): the CLI resolves named specs from
+the registry, ``harness.serve`` builds engine sessions from them,
+``harness.experiments`` routes figure configurations through them, and the
+shared caches key artifacts by :meth:`WorkloadSpec.spec_hash`.
+
+Specs are frozen/hashable and fully declarative — building the actual
+renderer, trajectory, or session happens in the builder methods, which
+resolve against an :class:`~repro.harness.configs.ExperimentConfig` scale
+at call time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+
+from ..scenes.trajectory import (
+    TRAJECTORY_KINDS,
+    Trajectory,
+    make_trajectory,
+    trajectory_parameters,
+)
+
+__all__ = ["WorkloadSpec", "TIERS"]
+
+# Resolution/quality tiers.  "inherit" uses whatever config scale the
+# harness is running at (--fast or default); the named tiers force a scale
+# or derive a cheaper one, letting one serve mix heterogeneous qualities.
+TIERS = ("inherit", "default", "fast", "preview")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One serving workload: what a user session renders and how.
+
+    ``trajectory_params`` is a tuple of ``(key, value)`` pairs (kept as a
+    tuple so specs stay hashable); :meth:`make` accepts them as kwargs.
+    """
+
+    name: str
+    scene: str = "lego"
+    algorithm: str = "directvoxgo"
+    trajectory: str = "orbit"
+    trajectory_params: tuple = ()
+    frames: int | None = None
+    window: int | None = None
+    policy: str = "extrapolated"
+    phi: float | None = None
+    variant: str = "cicero"
+    tier: str = "inherit"
+    fps_target: float = 30.0
+    seed: int = 0
+
+    @classmethod
+    def make(cls, name: str, **kwargs) -> "WorkloadSpec":
+        """Spec constructor taking trajectory params as plain kwargs."""
+        fields = {f.name for f in dataclasses.fields(cls)}
+        spec_kwargs = {k: v for k, v in kwargs.items() if k in fields}
+        traj_kwargs = {k: v for k, v in kwargs.items() if k not in fields}
+        if traj_kwargs:
+            spec_kwargs["trajectory_params"] = tuple(
+                sorted(traj_kwargs.items()))
+        return cls(name=name, **spec_kwargs)
+
+    def __post_init__(self):
+        if self.trajectory not in TRAJECTORY_KINDS:
+            known = ", ".join(sorted(TRAJECTORY_KINDS))
+            raise ValueError(f"unknown trajectory {self.trajectory!r}; "
+                             f"one of: {known}")
+        # Fail at construction, not session-build time: a stray kwarg here
+        # is either a generator-param typo or a misspelled spec field that
+        # :meth:`make` routed into trajectory_params.
+        accepted = trajectory_parameters(self.trajectory)
+        # num_frames/seed come from the spec's own frames/seed fields.
+        accepted.pop("num_frames", None)
+        accepted.pop("seed", None)
+        for key, _ in self.trajectory_params:
+            if key not in accepted:
+                raise ValueError(
+                    f"trajectory {self.trajectory!r} does not accept "
+                    f"parameter {key!r} (not a spec field either); "
+                    f"known parameters: {sorted(accepted)}")
+        if self.tier not in TIERS:
+            raise ValueError(f"unknown tier {self.tier!r}; one of: {TIERS}")
+
+    # -- identity ---------------------------------------------------------------
+
+    def spec_hash(self) -> str:
+        """Stable content hash of every field except the display name."""
+        payload = dataclasses.asdict(self)
+        payload.pop("name")
+        canonical = repr(sorted(payload.items()))
+        return hashlib.sha1(canonical.encode()).hexdigest()[:16]
+
+    def cache_key(self, config) -> str:
+        """Content-addressed identity of this spec at a config scale.
+
+        Sessions whose specs and resolved configs agree produce identical
+        renderers and identical reference renders, so this string is the
+        namespace half of every reference-cache key.
+        """
+        resolved = self.resolve_config(config)
+        config_hash = hashlib.sha1(
+            repr(dataclasses.astuple(resolved)).encode()).hexdigest()[:16]
+        return f"{self.spec_hash()}/{config_hash}"
+
+    # -- resolution against a config scale --------------------------------------
+
+    def resolve_config(self, base):
+        """The :class:`ExperimentConfig` this spec renders at."""
+        from ..harness.configs import DEFAULT, FAST
+        if self.tier == "inherit":
+            return base
+        if self.tier == "default":
+            return DEFAULT
+        if self.tier == "fast":
+            return FAST
+        # "preview": half-resolution, half-depth derivative of the base.
+        return dataclasses.replace(
+            base,
+            image_size=max(32, base.image_size // 2),
+            samples_per_ray=max(24, base.samples_per_ray // 2))
+
+    def num_frames(self, config) -> int:
+        return self.frames if self.frames is not None else config.num_frames
+
+    def build_trajectory(self, config) -> Trajectory:
+        """Deterministic trajectory at the resolved config scale.
+
+        Orbit-family generators default their radius/step to the config's
+        values so spec-built orbits are pose-identical to the figure
+        harness's ground-truth trajectories.
+        """
+        config = self.resolve_config(config)
+        params = dict(self.trajectory_params)
+        if self.trajectory in ("orbit", "handheld"):
+            params.setdefault("radius", config.orbit_radius)
+            params.setdefault("degrees_per_frame", config.degrees_per_frame)
+        return make_trajectory(self.trajectory, self.num_frames(config),
+                               seed=self.seed, **params)
+
+    # -- builders ---------------------------------------------------------------
+
+    def build_renderer(self, config):
+        """The (shared-cache-backed) NeRF renderer for this spec."""
+        from ..harness.configs import build_renderer
+        return build_renderer(self.algorithm, self.scene,
+                              self.resolve_config(config))
+
+    def build_sparw(self, config):
+        """A fresh SPARW pipeline for one session of this workload."""
+        from ..core.sparw.pipeline import SparwRenderer
+        from ..harness.configs import make_camera
+        resolved = self.resolve_config(config)
+        window = self.window if self.window is not None else resolved.window
+        return SparwRenderer(self.build_renderer(config),
+                             make_camera(resolved), window=window,
+                             policy=self.policy,
+                             angle_threshold_deg=self.phi)
+
+    def build_session(self, session_id: str, config):
+        """A :class:`~repro.engine.RenderSession` serving this workload.
+
+        The session carries the spec's content-addressed ``cache_key`` so
+        the engine can answer its reference renders from the shared cache.
+        """
+        from ..engine.session import RenderSession
+        trajectory = self.build_trajectory(config)
+        return RenderSession(session_id, self.build_sparw(config),
+                             trajectory.poses, fps_target=self.fps_target,
+                             cache_key=self.cache_key(config),
+                             workload=self)
+
+    def run_solo(self, config):
+        """Render this workload's sequence single-user (no engine, no cache)."""
+        return self.build_sparw(config).render_sequence(
+            self.build_trajectory(config).poses)
+
+    def describe(self) -> dict:
+        """Row for ``cli workloads`` listings."""
+        return {
+            "name": self.name,
+            "scene": self.scene,
+            "trajectory": self.trajectory,
+            "algorithm": self.algorithm,
+            "variant": self.variant,
+            "tier": self.tier,
+            "window": self.window if self.window is not None else "config",
+            "frames": self.frames if self.frames is not None else "config",
+            "policy": self.policy,
+        }

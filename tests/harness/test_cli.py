@@ -20,7 +20,9 @@ class TestParser:
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve", "--fast"])
         assert args.figure == "serve"
-        assert args.sessions == 4
+        # --sessions defaults late (to 4) so explicit use can be detected
+        # and rejected when combined with --workload.
+        assert args.sessions is None
         assert args.scheduler == "round_robin"
         assert args.json_out is None
 
@@ -100,3 +102,71 @@ class TestServe:
                      "--algorithm", "gaussians"]) == 2
         err = capsys.readouterr().err
         assert "unknown algorithm" in err and "directvoxgo" in err
+
+
+class TestWorkloads:
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "vr-lego" in out and "dolly-chair" in out
+        assert "trajectory" in out  # table header
+
+    def test_list_includes_workloads_command(self, capsys):
+        assert main(["list"]) == 0
+        assert "workloads" in capsys.readouterr().out
+
+    def test_serve_mixed_workloads_reports_cache_stats(self, capsys,
+                                                       tmp_path):
+        assert main(["serve", "--fast", "--frames", "2",
+                     "--workload", "vr-lego:2",
+                     "--workload", "vr-headshake",
+                     "--json-out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "vr-lego-01" in out
+        assert "ref_cache_hits" in out
+        payload = json.loads((tmp_path / "BENCH_serve_mixed.json").read_text())
+        assert payload["extra"]["sessions"] == 3
+        # The duplicated vr-lego sessions share reference renders.
+        assert payload["extra"]["ref_cache_hits"] > 0
+        assert payload["extra"]["cache"]["references"]["hits"] > 0
+
+    def test_serve_no_cache_flag(self, capsys):
+        assert main(["serve", "--fast", "--frames", "2",
+                     "--workload", "vr-lego:2", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cache_enabled" in out
+
+    def test_serve_rejects_unknown_workload(self, capsys):
+        assert main(["serve", "--fast", "--workload", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err and "vr-lego" in err
+
+    def test_serve_repeated_workload_flags_merge(self, capsys):
+        # The same name in two --workload flags is counted, not crashed on.
+        assert main(["serve", "--fast", "--frames", "2",
+                     "--workload", "vr-lego", "--workload", "vr-lego"]) == 0
+        out = capsys.readouterr().out
+        assert "vr-lego-00" in out and "vr-lego-01" in out
+
+    def test_serve_rejects_bad_workload_count(self, capsys):
+        assert main(["serve", "--fast", "--workload", "vr-lego:0"]) == 2
+        assert "count" in capsys.readouterr().err
+
+    def test_serve_rejects_workload_scene_combination(self, capsys):
+        assert main(["serve", "--fast", "--workload", "vr-lego",
+                     "--scene", "lego"]) == 2
+        assert "--workload" in capsys.readouterr().err
+
+    def test_serve_rejects_workload_variant_combination(self, capsys):
+        # The spec fixes the SoC variant; an explicit --variant would be
+        # silently ignored, so it is rejected instead.
+        assert main(["serve", "--fast", "--workload", "vr-lego",
+                     "--variant", "gpu"]) == 2
+        assert "--variant" in capsys.readouterr().err
+
+    def test_serve_rejects_workload_sessions_combination(self, capsys):
+        # The mix counts decide the session count; an explicit --sessions
+        # would be silently ignored, so it is rejected instead.
+        assert main(["serve", "--fast", "--workload", "vr-lego",
+                     "--sessions", "20"]) == 2
+        assert "--sessions" in capsys.readouterr().err

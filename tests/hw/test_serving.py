@@ -98,3 +98,22 @@ class TestAggregateServing:
         report = aggregate_serving({}, soc=soc)
         assert report.total_frames == 0
         assert report.aggregate_fps == 0.0
+        assert report.cache is None
+
+    def test_per_session_variants(self, soc):
+        results = {"a": make_result(4, 2), "b": make_result(4, 2)}
+        uniform = aggregate_serving(results, soc=soc, variant="baseline")
+        mixed = aggregate_serving(results, soc=soc, variant="baseline",
+                                  variants={"b": "cicero"})
+        per = {s.session_id: s for s in mixed.per_session}
+        base = {s.session_id: s for s in uniform.per_session}
+        # Session "a" falls back to the default variant; "b" is priced
+        # under the (faster) cicero variant.
+        assert per["a"].busy_s == pytest.approx(base["a"].busy_s)
+        assert per["b"].busy_s < base["b"].busy_s
+
+    def test_cache_stats_attached(self, soc):
+        cache_stats = {"references": {"hits": 3, "misses": 1}}
+        report = aggregate_serving({"a": make_result(2, 2)}, soc=soc,
+                                   cache_stats=cache_stats)
+        assert report.cache == cache_stats

@@ -125,3 +125,61 @@ class TestMultiRay:
                            np.array([0]), num_rays=2)
         assert result.opacity[0] == pytest.approx(1.0)
         assert result.opacity[1] == pytest.approx(0.0)
+
+
+class TestVectorizedRGB:
+    """The single-bincount RGB path must match the per-channel loop exactly."""
+
+    @staticmethod
+    def _per_channel_rgb(weights, rgbs, ray_index, num_rays):
+        # The pre-vectorization reference implementation: one segmented
+        # sum per color channel.
+        rgb = np.zeros((num_rays, 3))
+        for channel in range(3):
+            rgb[:, channel] = np.bincount(ray_index,
+                                          weights=weights * rgbs[:, channel],
+                                          minlength=num_rays)
+        return rgb
+
+    def test_bit_identical_to_per_channel_loop(self):
+        rng = np.random.default_rng(42)
+        num_rays = 17
+        samples_per_ray = rng.integers(0, 9, size=num_rays)
+        ray_index = np.repeat(np.arange(num_rays), samples_per_ray)
+        n = len(ray_index)
+        sigmas = rng.uniform(0.0, 30.0, n)
+        rgbs = rng.uniform(size=(n, 3))
+        t_values = np.sort(rng.uniform(1.0, 3.0, n))
+        deltas = rng.uniform(0.01, 0.2, n)
+
+        result = composite(sigmas, rgbs, t_values, deltas, ray_index,
+                           num_rays=num_rays)
+
+        # Recompute the weights exactly as composite does, then take the
+        # unclipped per-channel segmented sums.
+        alphas = 1.0 - np.exp(-np.maximum(sigmas, 0.0) * deltas)
+        log_trans = np.log(np.clip(1.0 - alphas, 1e-12, 1.0))
+        cums = np.cumsum(log_trans)
+        starts = np.zeros(n, dtype=bool)
+        starts[0] = True
+        starts[1:] = ray_index[1:] != ray_index[:-1]
+        start_positions = np.maximum.accumulate(
+            np.where(starts, np.arange(n), 0))
+        seg_offsets = (cums - log_trans)[start_positions]
+        weights = np.exp(cums - log_trans - seg_offsets) * alphas
+
+        expected = np.clip(
+            self._per_channel_rgb(weights, rgbs, ray_index, num_rays),
+            0.0, 1.0)
+        np.testing.assert_array_equal(result.rgb, expected)
+
+    def test_unsorted_channels_not_mixed(self):
+        # Two rays, pure-channel colors: vectorized binning must not leak
+        # one ray's channel sums into another's.
+        result = composite(
+            np.array([1e6, 1e6]),
+            np.array([[1.0, 0.0, 0.0], [0.0, 0.0, 1.0]]),
+            np.array([1.0, 1.0]), np.array([0.1, 0.1]),
+            np.array([0, 1]), num_rays=2)
+        np.testing.assert_allclose(result.rgb[0], [1.0, 0.0, 0.0], atol=1e-9)
+        np.testing.assert_allclose(result.rgb[1], [0.0, 0.0, 1.0], atol=1e-9)

@@ -1,0 +1,169 @@
+"""Tests for WorkloadSpec, the named registry, and mix parsing."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.harness.configs import ALGORITHMS, DEFAULT, FAST
+from repro.scenes import TRAJECTORY_KINDS, get_scene, orbit_trajectory
+from repro.workloads import (
+    WORKLOADS,
+    WorkloadSpec,
+    build_mixed_sessions,
+    get_workload,
+    list_workloads,
+    parse_mix,
+    register_workload,
+)
+
+
+class TestSpec:
+    def test_make_moves_extra_kwargs_to_trajectory_params(self):
+        spec = WorkloadSpec.make("w", trajectory="orbit", window=4,
+                                 degrees_per_frame=2.0, start_angle_deg=90.0)
+        assert spec.window == 4
+        assert spec.trajectory_params == (
+            ("degrees_per_frame", 2.0), ("start_angle_deg", 90.0))
+
+    def test_unknown_trajectory_rejected(self):
+        with pytest.raises(ValueError, match="unknown trajectory"):
+            WorkloadSpec(name="w", trajectory="spiral")
+
+    def test_unknown_trajectory_param_rejected_at_construction(self):
+        # A generator-param typo (or a misspelled spec field routed into
+        # trajectory_params by make()) fails immediately, not at build.
+        with pytest.raises(ValueError, match="does not accept"):
+            WorkloadSpec.make("w", trajectory="orbit", radiu=3.0)
+        with pytest.raises(ValueError, match="does not accept"):
+            WorkloadSpec.make("w", algoritm="tensorf")
+        with pytest.raises(ValueError, match="does not accept"):
+            WorkloadSpec.make("w", trajectory="replay",
+                              degrees_per_frame=5.0)
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError, match="unknown tier"):
+            WorkloadSpec(name="w", tier="ultra")
+
+    def test_hash_ignores_display_name(self):
+        a = WorkloadSpec(name="a", scene="lego")
+        b = WorkloadSpec(name="b", scene="lego")
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_hash_sensitive_to_content(self):
+        base = WorkloadSpec(name="w")
+        for change in ({"scene": "chair"}, {"algorithm": "tensorf"},
+                       {"trajectory": "dolly"}, {"window": 3},
+                       {"phi": 4.0}, {"seed": 1}, {"tier": "preview"},
+                       {"trajectory_params": (("start_angle_deg", 10.0),)}):
+            assert dataclasses.replace(base, **change).spec_hash() \
+                != base.spec_hash()
+
+    def test_cache_key_includes_config_scale(self):
+        spec = WorkloadSpec(name="w")
+        assert spec.cache_key(FAST) != spec.cache_key(DEFAULT)
+        assert spec.cache_key(FAST) == spec.cache_key(FAST)
+
+    def test_tier_resolution(self):
+        assert WorkloadSpec(name="w").resolve_config(FAST) is FAST
+        assert WorkloadSpec(name="w", tier="fast").resolve_config(DEFAULT) \
+            is FAST
+        assert WorkloadSpec(name="w", tier="default").resolve_config(FAST) \
+            is DEFAULT
+        preview = WorkloadSpec(name="w", tier="preview").resolve_config(FAST)
+        assert preview.image_size == max(32, FAST.image_size // 2)
+        assert preview.samples_per_ray <= FAST.samples_per_ray
+
+    def test_build_trajectory_matches_figure_orbit(self):
+        """Spec-built orbits are pose-identical to the GT harness orbits."""
+        spec = WorkloadSpec(name="w", trajectory="orbit")
+        built = spec.build_trajectory(FAST)
+        expected = orbit_trajectory(FAST.num_frames,
+                                    radius=FAST.orbit_radius,
+                                    degrees_per_frame=FAST.degrees_per_frame)
+        assert len(built) == len(expected)
+        for pa, pb in zip(built.poses, expected.poses):
+            np.testing.assert_array_equal(pa, pb)
+
+    def test_build_trajectory_deterministic(self):
+        spec = WorkloadSpec(name="w", trajectory="random_walk", seed=5,
+                            frames=6)
+        a = spec.build_trajectory(FAST)
+        b = spec.build_trajectory(FAST)
+        for pa, pb in zip(a.poses, b.poses):
+            np.testing.assert_array_equal(pa, pb)
+
+    def test_frames_override(self):
+        assert WorkloadSpec(name="w", frames=3).num_frames(FAST) == 3
+        assert WorkloadSpec(name="w").num_frames(FAST) == FAST.num_frames
+
+
+class TestRegistry:
+    def test_builtins_are_valid(self):
+        specs = list_workloads()
+        assert len(specs) >= 5
+        trajectories = set()
+        for spec in specs:
+            get_scene(spec.scene)  # raises on unknown scene
+            assert spec.algorithm in ALGORITHMS
+            assert spec.trajectory in TRAJECTORY_KINDS
+            trajectories.add(spec.trajectory)
+        # The registry exercises heterogeneous motion, not just orbits.
+        assert len(trajectories) >= 3
+
+    def test_get_unknown_workload(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("nope")
+
+    def test_register_duplicate_rejected(self):
+        spec = WORKLOADS["vr-lego"]
+        with pytest.raises(ValueError, match="already registered"):
+            register_workload(spec)
+
+    def test_parse_mix_string(self):
+        mix = parse_mix("vr-lego:3,dolly-chair")
+        assert [(s.name, n) for s, n in mix] == [("vr-lego", 3),
+                                                 ("dolly-chair", 1)]
+
+    def test_parse_mix_list_and_pairs(self):
+        spec = WORKLOADS["vr-lego"]
+        assert parse_mix(["vr-lego:2"])[0][1] == 2
+        assert parse_mix([(spec, 4)]) == [(spec, 4)]
+        # Pairs may name the spec by string; it resolves via the registry.
+        assert parse_mix([("vr-lego", 2)]) == [(spec, 2)]
+        with pytest.raises(KeyError, match="unknown workload"):
+            parse_mix([("bogus", 2)])
+        with pytest.raises(ValueError, match="count must be >= 1"):
+            parse_mix([("vr-lego", 0)])
+
+    def test_parse_mix_merges_repeated_names(self):
+        mix = parse_mix("vr-lego,dolly-chair,vr-lego:2")
+        assert [(s.name, n) for s, n in mix] == [("vr-lego", 3),
+                                                 ("dolly-chair", 1)]
+
+    def test_parse_mix_rejects_same_name_different_specs(self):
+        clone = dataclasses.replace(WORKLOADS["vr-lego"], seed=99)
+        with pytest.raises(ValueError, match="same name"):
+            parse_mix([(WORKLOADS["vr-lego"], 1), (clone, 1)])
+
+    def test_parse_mix_errors(self):
+        with pytest.raises(ValueError, match="empty workload mix"):
+            parse_mix("")
+        with pytest.raises(ValueError, match="count must be >= 1"):
+            parse_mix("vr-lego:0")
+        with pytest.raises(ValueError, match="bad workload count"):
+            parse_mix("vr-lego:x")
+        with pytest.raises(KeyError, match="unknown workload"):
+            parse_mix("vr-lego,bogus:2")
+
+    def test_build_mixed_sessions_ids_and_frames(self):
+        sessions = build_mixed_sessions("vr-lego:2,vr-headshake", FAST,
+                                        frames=2)
+        assert [s.session_id for s in sessions] == [
+            "vr-lego-00", "vr-lego-01", "vr-headshake-00"]
+        assert all(s.num_frames == 2 for s in sessions)
+        # Copies of one spec share the identical trajectory + cache key;
+        # distinct specs do not.
+        assert np.array_equal(sessions[0].poses[0], sessions[1].poses[0])
+        assert sessions[0].cache_key == sessions[1].cache_key
+        assert sessions[0].cache_key != sessions[2].cache_key
