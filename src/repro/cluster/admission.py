@@ -1,0 +1,70 @@
+"""Admission control: bounded per-worker queues with reject-reason counters.
+
+A worker's "queue" is its set of resident (unfinished) sessions; admission
+caps that depth so an overloaded fleet sheds load at the front door instead
+of letting every session's latency grow without bound.  Rejections are
+counted by reason so a cluster report can distinguish *no capacity
+provisioned* from *capacity saturated*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["REJECT_NO_WORKERS", "REJECT_QUEUE_FULL", "AdmissionStats",
+           "AdmissionController"]
+
+REJECT_NO_WORKERS = "no_workers"  # zero live workers at arrival time
+REJECT_QUEUE_FULL = "queue_full"  # every live worker at its queue limit
+
+
+@dataclass
+class AdmissionStats:
+    """Front-door counters for one cluster run."""
+
+    admitted: int = 0
+    rejected_by_reason: dict = field(default_factory=dict)
+
+    @property
+    def rejected(self) -> int:
+        return sum(self.rejected_by_reason.values())
+
+    @property
+    def arrivals(self) -> int:
+        return self.admitted + self.rejected
+
+    @property
+    def reject_rate(self) -> float:
+        return self.rejected / self.arrivals if self.arrivals else 0.0
+
+
+class AdmissionController:
+    """Admit-or-reject against a per-worker resident-session bound."""
+
+    def __init__(self, queue_limit: int = 4):
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.queue_limit = queue_limit
+        self.stats = AdmissionStats()
+
+    def eligible(self, workers: list) -> tuple:
+        """``(eligible_workers, reject_reason)`` for one arrival.
+
+        ``workers`` must already be filtered to live workers; an empty
+        list means the fleet has no capacity at all.  Exactly one of the
+        two results is meaningful: a non-empty eligible list with reason
+        ``None``, or an empty list with the reject reason.
+        """
+        if not workers:
+            return [], REJECT_NO_WORKERS
+        open_workers = [w for w in workers if w.load < self.queue_limit]
+        if not open_workers:
+            return [], REJECT_QUEUE_FULL
+        return open_workers, None
+
+    def record_admit(self) -> None:
+        self.stats.admitted += 1
+
+    def record_reject(self, reason: str) -> None:
+        by_reason = self.stats.rejected_by_reason
+        by_reason[reason] = by_reason.get(reason, 0) + 1

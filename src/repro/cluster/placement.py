@@ -1,0 +1,82 @@
+"""Placement policies: which worker an admitted session lands on.
+
+Policies see only the admission-eligible workers (live, queue not full),
+always presented in stable ``worker_id`` order, and are fully
+deterministic — the cluster simulator's reproducibility contract extends
+through placement.
+
+``cache_affinity`` is the cluster-level payoff of the shared reference
+cache: it rendezvous-hashes the session's content-addressed
+:meth:`~repro.workloads.WorkloadSpec.cache_key`, so sessions viewing the
+same content co-locate on the worker whose ``REFERENCE_CACHE`` already
+holds their reference renders — and, because rendezvous (highest-random-
+weight) hashing scores every worker independently, affinity survives the
+autoscaler growing or shrinking the fleet.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["RoundRobinPlacement", "LeastLoadedPlacement",
+           "CacheAffinityPlacement", "PLACEMENTS", "make_placement"]
+
+
+class RoundRobinPlacement:
+    """Cycle over eligible workers in id order, one step per placement."""
+
+    name = "round_robin"
+
+    def __init__(self):
+        self._next = 0
+
+    def choose(self, cache_key: str | None, workers: list):
+        worker = workers[self._next % len(workers)]
+        self._next += 1
+        return worker
+
+
+class LeastLoadedPlacement:
+    """Fewest resident sessions wins; ties fall back to worker id."""
+
+    name = "least_loaded"
+
+    def choose(self, cache_key: str | None, workers: list):
+        return min(workers, key=lambda w: (w.load, w.worker_id))
+
+
+class CacheAffinityPlacement:
+    """Rendezvous-hash the workload's cache key onto the fleet.
+
+    Every eligible worker gets a score ``H(cache_key | worker_id)``; the
+    highest score wins.  Sessions sharing a cache key therefore agree on
+    a preferred worker (and on the fallback ranking when that worker is
+    full or gone), without any shared mutable state.
+    """
+
+    name = "cache_affinity"
+
+    @staticmethod
+    def _score(cache_key: str, worker_id: str) -> str:
+        return hashlib.sha1(f"{cache_key}|{worker_id}".encode()).hexdigest()
+
+    def choose(self, cache_key: str | None, workers: list):
+        if cache_key is None:  # nothing to be affine to
+            return LeastLoadedPlacement().choose(cache_key, workers)
+        return max(workers, key=lambda w: self._score(cache_key, w.worker_id))
+
+
+PLACEMENTS = {
+    policy.name: policy
+    for policy in (RoundRobinPlacement, LeastLoadedPlacement,
+                   CacheAffinityPlacement)
+}
+
+
+def make_placement(name: str):
+    """Placement policy instance by name (see :data:`PLACEMENTS`)."""
+    try:
+        return PLACEMENTS[name]()
+    except KeyError:
+        raise ValueError(f"unknown placement policy {name!r}; one of "
+                         f"{tuple(sorted(PLACEMENTS))}") from None

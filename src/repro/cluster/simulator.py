@@ -1,0 +1,313 @@
+"""Event-driven open-loop cluster simulation over many SoC workers.
+
+The simulator owns a shared virtual clock and a single event heap:
+arrivals enter from an arrival schedule, admission bounds per-worker
+queue depth, a placement policy picks the worker, and each worker serves
+its sessions' frame streams one priced frame at a time (costs from
+:func:`~repro.hw.serving.price_session_frames` on the worker's SoC).  An
+optional autoscaler grows/shrinks the fleet between events.
+
+Everything is deterministic: the only randomness lives in the seeded
+arrival schedule, events at equal times order by a fixed kind priority
+then insertion sequence, and rendering itself is bit-deterministic — so
+one seed reproduces an identical :class:`ClusterReport`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..metrics.stats import mean_or_zero as _mean
+from ..metrics.stats import percentile_or_zero as _percentile
+from .admission import AdmissionController
+from .arrivals import make_arrivals
+from .autoscale import Autoscaler
+from .placement import make_placement
+from .worker import Worker
+
+__all__ = ["ClusterReport", "ClusterSimulator", "simulate_cluster"]
+
+# Equal-time event ordering: a booted worker becomes placeable before the
+# frame/arrival work at that instant, completions free workers before new
+# arrivals are placed, and wakes run last (they only re-poll).
+_P_WORKER_UP = 0
+_P_FRAME_DONE = 1
+_P_ARRIVAL = 2
+_P_WAKE = 3
+
+
+@dataclass
+class ClusterReport:
+    """Cluster-wide service metrics of one simulated run (JSON-able)."""
+
+    placement: str
+    arrivals: str
+    seed: int
+    queue_limit: int
+    workers_initial: int
+    workers_final: int
+    arrivals_total: int
+    admitted: int
+    rejected: int
+    reject_rate: float
+    reject_reasons: dict
+    completed_sessions: int
+    total_frames: int
+    total_references: int
+    makespan_s: float
+    aggregate_fps: float
+    ttff_mean_s: float
+    ttff_p95_s: float
+    mean_latency_s: float
+    p50_latency_s: float
+    p95_latency_s: float
+    p99_latency_s: float
+    worst_latency_s: float
+    mean_utilization: float
+    ref_cache_hits: int
+    ref_cache_misses: int
+    ref_cache_hit_rate: float
+    per_worker: list = field(default_factory=list)
+    scale_events: list = field(default_factory=list)
+
+    def summary(self) -> dict:
+        """Flat aggregate row for tables and ``BENCH_cluster.json``."""
+        return {
+            "arrivals": self.arrivals,
+            "placement": self.placement,
+            "seed": self.seed,
+            "workers_initial": self.workers_initial,
+            "workers_final": self.workers_final,
+            "arrivals_total": self.arrivals_total,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "reject_rate": self.reject_rate,
+            "reject_queue_full": self.reject_reasons.get("queue_full", 0),
+            "reject_no_workers": self.reject_reasons.get("no_workers", 0),
+            "completed_sessions": self.completed_sessions,
+            "total_frames": self.total_frames,
+            "makespan_s": self.makespan_s,
+            "aggregate_fps": self.aggregate_fps,
+            "ttff_mean_ms": self.ttff_mean_s * 1e3,
+            "ttff_p95_ms": self.ttff_p95_s * 1e3,
+            "mean_latency_ms": self.mean_latency_s * 1e3,
+            "p50_latency_ms": self.p50_latency_s * 1e3,
+            "p95_latency_ms": self.p95_latency_s * 1e3,
+            "p99_latency_ms": self.p99_latency_s * 1e3,
+            "worst_latency_ms": self.worst_latency_s * 1e3,
+            "mean_utilization": self.mean_utilization,
+            "ref_cache_hits": self.ref_cache_hits,
+            "ref_cache_misses": self.ref_cache_misses,
+            "ref_cache_hit_rate": self.ref_cache_hit_rate,
+            "scale_ups": sum(1 for e in self.scale_events
+                             if e["action"] == "up_completed"),
+            "scale_downs": sum(1 for e in self.scale_events
+                               if e["action"] == "down"),
+        }
+
+
+class ClusterSimulator:
+    """Deterministic discrete-event fleet of :class:`~.worker.Worker`\\ s."""
+
+    def __init__(self, config, workers: int = 4,
+                 placement: str = "least_loaded", queue_limit: int = 4,
+                 frames: int | None = None, seed: int = 0,
+                 autoscaler: Autoscaler | None = None,
+                 use_cache: bool = True,
+                 worker_cache_entries: int = 256,
+                 worker_cache_bytes: int = 64 << 20):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.config = config
+        self.frames = frames
+        self.seed = seed  # offsets spec trajectory seeds (with_overrides)
+        self.placement = (make_placement(placement)
+                          if isinstance(placement, str) else placement)
+        self.admission = AdmissionController(queue_limit)
+        self.autoscaler = autoscaler
+        self.use_cache = use_cache
+        self.workers: list = []
+        self._worker_seq = 0
+        self._worker_cache_entries = worker_cache_entries
+        self._worker_cache_bytes = worker_cache_bytes
+        for _ in range(workers):
+            self._spawn(0.0)
+        self.workers_initial = workers
+        self._booting = 0
+        self._session_seq = 0
+        self._event_seq = 0
+        self._heap: list = []
+        self._makespan = 0.0
+
+    # -- fleet -------------------------------------------------------------------
+
+    def _spawn(self, now_s: float) -> Worker:
+        worker = Worker(f"w{self._worker_seq:02d}", self.config,
+                        started_s=now_s, index=self._worker_seq,
+                        cache_entries=self._worker_cache_entries,
+                        cache_bytes=self._worker_cache_bytes,
+                        use_cache=self.use_cache)
+        self._worker_seq += 1
+        self.workers.append(worker)
+        return worker
+
+    def _live(self) -> list:
+        return [w for w in self.workers if w.live]
+
+    # -- event machinery ---------------------------------------------------------
+
+    def _push(self, time_s: float, priority: int, kind: str, payload) -> None:
+        heapq.heappush(self._heap,
+                       (time_s, priority, self._event_seq, kind, payload))
+        self._event_seq += 1
+
+    def _dispatch(self, worker: Worker, now_s: float) -> None:
+        """Re-poll a worker; start a frame or schedule its next wake."""
+        action, payload = worker.poll(now_s)
+        if action == "serve":
+            completion = worker.start_frame(payload, now_s)
+            self._push(completion, _P_FRAME_DONE, "frame_done",
+                       (worker, payload))
+        elif action == "wait":
+            self._push(payload, _P_WAKE, "wake", worker)
+
+    def _autoscale(self, now_s: float) -> None:
+        if self.autoscaler is None:
+            return
+        decision = self.autoscaler.evaluate(now_s, self._live(),
+                                            self._booting)
+        if decision is None:
+            return
+        action, payload = decision
+        if action == "up":
+            self._booting += 1
+            self._push(payload, _P_WORKER_UP, "worker_up", None)
+        else:
+            payload.retire(now_s)
+
+    def _on_arrival(self, now_s: float, arrival) -> None:
+        # Overrides change the spec's content hash, so placement and the
+        # worker must both see the same effective spec.
+        spec = arrival.spec.with_overrides(frames=self.frames,
+                                           seed_offset=self.seed)
+        eligible, reason = self.admission.eligible(self._live())
+        if reason is not None:
+            self.admission.record_reject(reason)
+            return
+        worker = self.placement.choose(spec.cache_key(self.config), eligible)
+        session_id = f"a{self._session_seq:04d}-{spec.name}"
+        self._session_seq += 1
+        worker.admit(session_id, spec, now_s)
+        self.admission.record_admit()
+        self._dispatch(worker, now_s)
+
+    # -- run ---------------------------------------------------------------------
+
+    def run(self, arrivals: list, label: str = "trace") -> ClusterReport:
+        """Play an arrival schedule to completion; returns the report.
+
+        The report records the constructor's ``seed`` (the one that
+        offset the specs), so a run is replayable from its own report.
+        """
+        for arrival in sorted(arrivals, key=lambda a: a.time_s):
+            self._push(arrival.time_s, _P_ARRIVAL, "arrival", arrival)
+        while self._heap:
+            now_s, _, _, kind, payload = heapq.heappop(self._heap)
+            if kind == "arrival":
+                self._on_arrival(now_s, payload)
+                self._autoscale(now_s)
+            elif kind == "frame_done":
+                worker, session = payload
+                worker.finish_frame(session, now_s)
+                self._makespan = max(self._makespan, now_s)
+                self._dispatch(worker, now_s)
+                self._autoscale(now_s)
+            elif kind == "worker_up":
+                self._booting -= 1
+                worker = self._spawn(now_s)
+                self.autoscaler.record_up_completed(now_s,
+                                                    len(self._live()))
+            else:  # wake
+                self._dispatch(payload, now_s)
+        return self._report(label)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def _report(self, label: str) -> ClusterReport:
+        placed = [s for w in self.workers for s in (w.completed + w.sessions)]
+        latencies = [lat for s in placed for lat in s.latencies_s]
+        ttff = [s.first_frame_s - s.arrival_s for s in placed
+                if s.first_frame_s is not None]
+        makespan = self._makespan
+        per_worker = [w.stats_row(makespan) for w in self.workers]
+        total_frames = sum(w.frames_served for w in self.workers)
+        hits = sum(w.reference_cache.stats.hits for w in self.workers)
+        misses = sum(w.reference_cache.stats.misses for w in self.workers)
+        lookups = hits + misses
+        stats = self.admission.stats
+        scale_events = ([{"t": e.time_s, "action": e.action,
+                          "workers": e.workers}
+                         for e in self.autoscaler.events]
+                        if self.autoscaler is not None else [])
+        return ClusterReport(
+            placement=self.placement.name,
+            arrivals=label,
+            seed=self.seed,
+            queue_limit=self.admission.queue_limit,
+            workers_initial=self.workers_initial,
+            workers_final=len(self._live()),
+            arrivals_total=stats.arrivals,
+            admitted=stats.admitted,
+            rejected=stats.rejected,
+            reject_rate=stats.reject_rate,
+            reject_reasons=dict(stats.rejected_by_reason),
+            completed_sessions=sum(len(w.completed) for w in self.workers),
+            total_frames=total_frames,
+            total_references=sum(s.references for s in placed),
+            makespan_s=makespan,
+            aggregate_fps=total_frames / makespan if makespan > 0 else 0.0,
+            ttff_mean_s=_mean(ttff),
+            ttff_p95_s=_percentile(ttff, 95),
+            mean_latency_s=_mean(latencies),
+            p50_latency_s=_percentile(latencies, 50),
+            p95_latency_s=_percentile(latencies, 95),
+            p99_latency_s=_percentile(latencies, 99),
+            worst_latency_s=max(latencies, default=0.0),
+            mean_utilization=_mean([row["utilization"]
+                                    for row in per_worker]),
+            ref_cache_hits=hits,
+            ref_cache_misses=misses,
+            ref_cache_hit_rate=hits / lookups if lookups else 0.0,
+            per_worker=per_worker,
+            scale_events=scale_events,
+        )
+
+
+def simulate_cluster(mix, config, arrivals: str = "poisson",
+                     rate_hz: float = 1.0, duration_s: float = 10.0,
+                     seed: int = 0, workers: int = 4,
+                     placement: str = "least_loaded", queue_limit: int = 4,
+                     frames: int | None = None,
+                     autoscaler: Autoscaler | None = None,
+                     use_cache: bool = True,
+                     trace=None, **arrival_params) -> ClusterReport:
+    """One-call cluster run: generate arrivals, simulate, report.
+
+    ``mix`` is any serve mix (``"vr-lego:3,dolly-chair"`` or ``(spec,
+    count)`` pairs); ``arrivals`` picks the process (``replay`` reads
+    ``trace``).  ``seed`` drives the arrival schedule *and* offsets the
+    specs' trajectory seeds.  Same arguments, same seed, same report —
+    bit for bit.
+    """
+    if arrivals == "replay":
+        arrival_params["trace"] = trace
+    schedule = make_arrivals(arrivals, mix, rate_hz=rate_hz,
+                             duration_s=duration_s, seed=seed,
+                             **arrival_params)
+    simulator = ClusterSimulator(config, workers=workers,
+                                 placement=placement,
+                                 queue_limit=queue_limit, frames=frames,
+                                 seed=seed, autoscaler=autoscaler,
+                                 use_cache=use_cache)
+    return simulator.run(schedule, label=arrivals)

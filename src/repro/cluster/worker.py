@@ -1,0 +1,206 @@
+"""SoC workers: one multi-session engine + reference cache + frame queue.
+
+A :class:`Worker` is the cluster's unit of capacity.  Admitting a session
+renders its sequence through the worker's own
+:class:`~repro.engine.MultiSessionEngine` — against the worker-local
+reference cache, so co-located sessions of the same workload share
+reference renders — and prices every frame on the worker's SoC with
+:func:`~repro.hw.serving.price_session_frames`.  The priced frames then
+flow through the virtual-time frame queue: each session requests frame
+``k`` at ``arrival + k / fps_target`` (the open-loop stream a real viewer
+generates), frames are served one at a time in order per session, and the
+worker picks the oldest ready request first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engine import MultiSessionEngine
+from ..hw.serving import price_session_frames
+from ..hw.soc import SoCModel
+from ..workloads import SharedLRUCache
+
+__all__ = ["PlacedSession", "Worker"]
+
+
+@dataclass
+class PlacedSession:
+    """One admitted session's serving state on its worker."""
+
+    session_id: str
+    spec: object
+    worker_id: str
+    arrival_s: float
+    frame_costs: list
+    fps_target: float
+    references: int = 0
+    next_frame: int = 0
+    last_completion_s: float = 0.0
+    first_frame_s: float | None = None
+    latencies_s: list = field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        return self.next_frame >= len(self.frame_costs)
+
+    def request_time(self, frame_index: int) -> float:
+        """When the viewer asks for a frame: arrival + k at the target rate."""
+        return self.arrival_s + frame_index / self.fps_target
+
+    def ready_time(self, frame_index: int) -> float:
+        """Earliest service time: requested, and the previous frame done."""
+        return max(self.request_time(frame_index), self.last_completion_s)
+
+
+class Worker:
+    """One SoC's slice of the fleet: engine, reference cache, frame queue."""
+
+    def __init__(self, worker_id: str, config, soc: SoCModel | None = None,
+                 started_s: float = 0.0, index: int = 0,
+                 cache_entries: int = 256, cache_bytes: int = 64 << 20,
+                 use_cache: bool = True):
+        self.worker_id = str(worker_id)
+        self.config = config
+        self.soc = soc or SoCModel(feature_dim=config.feature_dim)
+        # The cache object always exists so stats report uniformly; with
+        # use_cache=False it is simply never attached to the engine.
+        self.reference_cache = SharedLRUCache(
+            name=f"{self.worker_id}/references",
+            max_entries=cache_entries, max_bytes=cache_bytes)
+        self.use_cache = bool(use_cache)
+        self.started_s = float(started_s)
+        self.index = int(index)  # spawn order (worker ids are for display)
+        self.retired_s: float | None = None
+        self.sessions: list = []  # resident (unfinished) PlacedSessions
+        self.completed: list = []
+        self.busy_s = 0.0
+        self.busy_until_s = float(started_s)
+        self.frames_served = 0
+        self.sessions_admitted = 0
+
+    # -- state -------------------------------------------------------------------
+
+    @property
+    def live(self) -> bool:
+        return self.retired_s is None
+
+    @property
+    def load(self) -> int:
+        """Resident-session count (the admission queue depth)."""
+        return len(self.sessions)
+
+    def retire(self, now_s: float) -> None:
+        if self.sessions:
+            raise RuntimeError(f"cannot retire {self.worker_id!r} with "
+                               f"{self.load} resident sessions")
+        self.retired_s = float(now_s)
+
+    # -- admission ---------------------------------------------------------------
+
+    def admit(self, session_id: str, spec, now_s: float) -> PlacedSession:
+        """Render + price one session's sequence and enqueue its frames.
+
+        Rendering goes through this worker's engine with the worker-local
+        reference cache attached, so sessions sharing the spec's
+        ``cache_key`` reuse each other's reference renders — the signal
+        cache-affinity placement optimises for.
+        """
+        engine_session = spec.build_session(session_id, self.config)
+        MultiSessionEngine(
+            [engine_session],
+            reference_cache=(self.reference_cache if self.use_cache
+                             else None)).run()
+        costs = price_session_frames(engine_session.result, self.soc,
+                                     spec.variant)
+        placed = PlacedSession(
+            session_id=session_id, spec=spec, worker_id=self.worker_id,
+            arrival_s=float(now_s), frame_costs=costs,
+            fps_target=spec.fps_target,
+            references=engine_session.result.num_references,
+            last_completion_s=float(now_s))
+        if placed.done:  # zero-frame sequence: nothing to serve
+            self.completed.append(placed)
+        else:
+            self.sessions.append(placed)
+        self.sessions_admitted += 1
+        return placed
+
+    # -- frame service (driven by the simulator's event loop) --------------------
+
+    def poll(self, now_s: float) -> tuple:
+        """What this worker should do at ``now_s``.
+
+        Returns ``("serve", session)`` when a frame is ready (oldest
+        request first, ties by session id), ``("wait", wake_time_s)``
+        when every pending frame's request lies in the future, or
+        ``("idle", None)`` when busy, retired, or out of work.
+        """
+        if not self.live or self.busy_until_s > now_s or not self.sessions:
+            return ("idle", None)
+        ready_now = []
+        earliest_future = None
+        for session in self.sessions:
+            k = session.next_frame
+            ready = session.ready_time(k)
+            if ready <= now_s:
+                ready_now.append((session.request_time(k),
+                                  session.session_id, session))
+            elif earliest_future is None or ready < earliest_future:
+                earliest_future = ready
+        if ready_now:
+            return ("serve", min(ready_now)[2])
+        return ("wait", earliest_future)
+
+    def start_frame(self, session: PlacedSession, now_s: float) -> float:
+        """Begin serving the session's next frame; returns completion time."""
+        cost = session.frame_costs[session.next_frame]
+        completion = now_s + cost
+        self.busy_s += cost
+        self.busy_until_s = completion
+        return completion
+
+    def finish_frame(self, session: PlacedSession, now_s: float) -> None:
+        """Record a frame completion (latency vs. its request time)."""
+        k = session.next_frame
+        session.latencies_s.append(now_s - session.request_time(k))
+        if k == 0:
+            session.first_frame_s = now_s
+        session.last_completion_s = now_s
+        session.next_frame += 1
+        self.frames_served += 1
+        if session.done:
+            self.sessions.remove(session)
+            self.completed.append(session)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def stats_row(self, makespan_s: float) -> dict:
+        """Per-worker report row.
+
+        Utilization is busy time over the worker's own *lifetime* within
+        the run (boot to retirement, or to the run's makespan while
+        live), so an autoscaled worker that was busy its whole short
+        life reads as saturated rather than diluted by time it did not
+        exist.
+        """
+        cache = self.reference_cache.stats
+        end_s = self.retired_s if self.retired_s is not None else makespan_s
+        lifetime_s = max(end_s - self.started_s, 0.0)
+        return {
+            "worker": self.worker_id,
+            "sessions": self.sessions_admitted,
+            "frames": self.frames_served,
+            "busy_s": self.busy_s,
+            "utilization": (self.busy_s / lifetime_s
+                            if lifetime_s > 0 else 0.0),
+            "ref_hits": cache.hits,
+            "ref_misses": cache.misses,
+            "ref_hit_rate": cache.hit_rate,
+            "retired": not self.live,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "live" if self.live else "retired"
+        return (f"Worker({self.worker_id!r}, load={self.load}, "
+                f"{self.frames_served} frames, {state})")

@@ -77,12 +77,25 @@ class EngineResult:
 
     sessions: list = field(default_factory=list)
     batch: BatchStats = field(default_factory=BatchStats)
+    # (indexed list, its length at index time, id -> session) cache.
+    _index: tuple | None = field(default=None, init=False, repr=False,
+                                 compare=False)
 
     def session(self, session_id: str) -> RenderSession:
-        for s in self.sessions:
-            if s.session_id == session_id:
-                return s
-        raise KeyError(f"no session {session_id!r}")
+        # Index built once on first lookup, so lookups are O(1) for
+        # fleet-scale consumers instead of a linear scan per call.
+        # Rebuilt when the sessions list is replaced (identity) or grows/
+        # shrinks in place; same-length in-place element assignment is
+        # not detected.
+        sessions = self.sessions
+        if (self._index is None or self._index[0] is not sessions
+                or self._index[1] != len(sessions)):
+            self._index = (sessions, len(sessions),
+                           {s.session_id: s for s in sessions})
+        try:
+            return self._index[2][session_id]
+        except KeyError:
+            raise KeyError(f"no session {session_id!r}") from None
 
     @property
     def total_frames(self) -> int:

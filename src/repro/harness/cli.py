@@ -1,7 +1,7 @@
 """Command-line experiment runner.
 
-Run any figure reproduction, or the multi-session serving workload, from a
-shell::
+Run any figure reproduction, the multi-session serving workload, or the
+open-loop cluster simulator from a shell::
 
     python -m repro.harness.cli fig07
     python -m repro.harness.cli fig19 --fast
@@ -10,6 +10,8 @@ shell::
     python -m repro.harness.cli workloads
     python -m repro.harness.cli serve --fast \\
         --workload vr-lego:3 --workload dolly-chair:2
+    python -m repro.harness.cli cluster --fast --arrivals poisson \\
+        --rate 1.5 --duration 8 --workers 4 --placement cache_affinity
 
 ``--fast`` uses the reduced test-scale configuration (seconds per figure);
 the default scale matches the benchmarks (minutes for the quality figures).
@@ -17,6 +19,9 @@ the default scale matches the benchmarks (minutes for the quality figures).
 automated runs leave machine-readable perf history.  ``serve --workload
 NAME[:N]`` mixes named workload specs (see the ``workloads`` command) into
 one heterogeneous serve with the shared cross-session reference cache.
+``cluster`` runs sessions *arriving over time* against a fleet of SoC
+workers with admission control, placement, and optional autoscaling;
+``--seed`` makes every stochastic run reproducible.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ import argparse
 import sys
 import time
 
+from ..cluster import ARRIVAL_KINDS, PLACEMENTS
 from ..hw.soc import VARIANTS
 from ..workloads import list_workloads, parse_mix
 from .configs import ALGORITHMS, DEFAULT, FAST, scene_of
@@ -33,6 +39,7 @@ from .reporting import print_table, write_bench_json
 
 SERVE_COMMAND = "serve"
 WORKLOADS_COMMAND = "workloads"
+CLUSTER_COMMAND = "cluster"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,24 +49,30 @@ def build_parser() -> argparse.ArgumentParser:
                     "serve a batched multi-session rendering workload.")
     parser.add_argument(
         "figure",
-        help="figure id (e.g. fig07), 'all', 'serve', 'workloads' to list "
-             "the named workload registry, or 'list' to print available ids")
+        help="figure id (e.g. fig07), 'all', 'serve', 'cluster', "
+             "'workloads' to list the named workload registry, or 'list' "
+             "to print available ids")
     parser.add_argument(
         "--fast", action="store_true",
         help="use the reduced test-scale configuration")
     parser.add_argument(
         "--json-out", metavar="DIR", default=None,
         help="also write BENCH_<figure>.json artifacts into DIR")
+    shared = parser.add_argument_group(
+        "serve/cluster options",
+        "used by both the 'serve' and 'cluster' commands")
     serve = parser.add_argument_group(
         "serve options", "only used with the 'serve' command")
     serve.add_argument("--sessions", type=int, default=None,
                        help="number of concurrent sessions (default 4; "
                             "with --workload the mix counts decide)")
-    serve.add_argument("--frames", type=int, default=None,
-                       help="frames per session (default: config scale)")
+    shared.add_argument("--frames", type=int, default=None,
+                        help="frames per session (default: config scale)")
     serve.add_argument("--scheduler", choices=("round_robin", "deadline"),
-                       default="round_robin",
-                       help="session scheduling policy")
+                       default=None,
+                       help="session scheduling policy (default "
+                            "round_robin; defaults late so 'cluster' can "
+                            "reject explicit use)")
     serve.add_argument("--variant", choices=VARIANTS, default=None,
                        help="SoC variant to price frames under "
                             "(default cicero)")
@@ -70,16 +83,61 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--algorithm", default=None,
                        help="NeRF algorithm for every session "
                             "(default directvoxgo)")
-    serve.add_argument("--workload", action="append", dest="workloads",
-                       metavar="NAME[:N]",
-                       help="named workload spec to serve, optionally "
-                            "duplicated N times (repeatable; see the "
-                            "'workloads' command; the spec fixes scene/"
-                            "algorithm/variant, so --scene/--algorithm/"
-                            "--variant/--sessions do not apply)")
-    serve.add_argument("--no-cache", action="store_true",
-                       help="disable the shared cross-session reference "
-                            "cache (outputs are bit-identical either way)")
+    shared.add_argument("--workload", action="append", dest="workloads",
+                        metavar="NAME[:N]",
+                        help="named workload spec to serve, optionally "
+                             "duplicated N times (repeatable; see the "
+                             "'workloads' command; the spec fixes scene/"
+                             "algorithm/variant, so --scene/--algorithm/"
+                             "--variant/--sessions do not apply; with "
+                             "'cluster' the counts act as arrival "
+                             "popularity weights)")
+    shared.add_argument("--no-cache", action="store_true",
+                        help="disable the shared cross-session reference "
+                             "cache (outputs are bit-identical either way)")
+    shared.add_argument("--seed", type=int, default=0,
+                        help="seed for every stochastic choice (trajectory "
+                             "sampling, arrival schedule); same seed, same "
+                             "run (default 0)")
+    cluster = parser.add_argument_group(
+        "cluster options", "only used with the 'cluster' command")
+    cluster.add_argument("--arrivals", choices=ARRIVAL_KINDS,
+                         default="poisson",
+                         help="arrival process (default poisson)")
+    cluster.add_argument("--rate", type=float, default=None,
+                         help="arrival rate in sessions/s; peak rate for "
+                              "diurnal (default 1.0; not valid with "
+                              "--arrivals replay)")
+    cluster.add_argument("--duration", type=float, default=None,
+                         help="arrival window in virtual seconds "
+                              "(default 10; not valid with --arrivals "
+                              "replay)")
+    cluster.add_argument("--workers", type=int, default=4,
+                         help="initial SoC worker count (default 4)")
+    cluster.add_argument("--placement",
+                         choices=tuple(sorted(PLACEMENTS)),
+                         default="least_loaded",
+                         help="placement policy (default least_loaded; "
+                              "cache_affinity co-locates sessions sharing "
+                              "content on one worker's reference cache)")
+    cluster.add_argument("--queue-limit", type=int, default=4,
+                         help="max resident sessions per worker before "
+                              "admission rejects (default 4)")
+    cluster.add_argument("--trace", metavar="PATH", default=None,
+                         help="JSON arrival trace for --arrivals replay")
+    cluster.add_argument("--autoscale", action="store_true",
+                         help="scale the fleet on load between "
+                              "--min-workers and --max-workers")
+    cluster.add_argument("--min-workers", type=int, default=None,
+                         help="autoscaler floor (default 1; requires "
+                              "--autoscale)")
+    cluster.add_argument("--max-workers", type=int, default=None,
+                         help="autoscaler ceiling (default 2x --workers; "
+                              "requires --autoscale)")
+    cluster.add_argument("--scale-up-latency", type=float, default=None,
+                         help="provisioning delay in virtual seconds "
+                              "before a scaled-up worker takes sessions "
+                              "(default 1.0; requires --autoscale)")
     return parser
 
 
@@ -104,6 +162,7 @@ def run_serve(args, config) -> int:
     if args.frames is not None and args.frames < 1:
         print("serve: --frames must be >= 1", file=sys.stderr)
         return 2
+    scheduler = args.scheduler or "round_robin"
     mix = None
     if args.workloads:
         if args.scenes or args.algorithm is not None \
@@ -139,14 +198,14 @@ def run_serve(args, config) -> int:
     started = time.time()
     if mix is not None:
         rows, summary = serve_experiment(
-            config, scheduler=args.scheduler, frames=args.frames,
-            workloads=mix, use_cache=not args.no_cache)
+            config, scheduler=scheduler, frames=args.frames,
+            workloads=mix, use_cache=not args.no_cache, seed=args.seed)
     else:
         rows, summary = serve_experiment(
-            config, sessions=sessions, scheduler=args.scheduler,
+            config, sessions=sessions, scheduler=scheduler,
             variant=args.variant or "cicero", frames=args.frames,
             scene_names=scenes, algorithm=algorithm,
-            use_cache=not args.no_cache)
+            use_cache=not args.no_cache, seed=args.seed)
     elapsed = time.time() - started
     print_table(rows, title=f"serve: {num_sessions} sessions "
                             f"({elapsed:.1f}s wall)")
@@ -165,6 +224,94 @@ def run_serve(args, config) -> int:
     return 0
 
 
+def run_cluster_command(args, config) -> int:
+    from .cluster import run_cluster
+    if args.scenes or args.algorithm is not None \
+            or args.variant is not None or args.sessions is not None \
+            or args.scheduler is not None:
+        print("cluster: --scene/--algorithm/--variant/--sessions/"
+              "--scheduler are serve-only options (use --workload "
+              "NAME[:N] to shape the arrival mix)", file=sys.stderr)
+        return 2
+    if args.rate is not None and args.rate <= 0 \
+            or args.duration is not None and args.duration <= 0:
+        print("cluster: --rate and --duration must be > 0",
+              file=sys.stderr)
+        return 2
+    if args.workers < 1 or args.queue_limit < 1:
+        print("cluster: --workers and --queue-limit must be >= 1",
+              file=sys.stderr)
+        return 2
+    if args.frames is not None and args.frames < 1:
+        print("cluster: --frames must be >= 1", file=sys.stderr)
+        return 2
+    if (args.arrivals == "replay") != (args.trace is not None):
+        print("cluster: --trace is required for (and only valid with) "
+              "--arrivals replay", file=sys.stderr)
+        return 2
+    if args.arrivals == "replay" and (args.workloads or args.rate
+                                      is not None or args.duration
+                                      is not None):
+        print("cluster: --workload/--rate/--duration do not apply to "
+              "--arrivals replay (the trace fixes every arrival)",
+              file=sys.stderr)
+        return 2
+    if not args.autoscale and (args.min_workers is not None
+                               or args.max_workers is not None
+                               or args.scale_up_latency is not None):
+        print("cluster: --min-workers/--max-workers/--scale-up-latency "
+              "require --autoscale", file=sys.stderr)
+        return 2
+    mix = None
+    if args.workloads:
+        try:
+            mix = parse_mix(args.workloads)
+        except (KeyError, ValueError) as exc:
+            print(f"cluster: {exc.args[0]}", file=sys.stderr)
+            return 2
+    # Options the user left unset are omitted so run_cluster's own
+    # signature stays the single home of the experiment defaults.
+    overrides = {
+        key: value for key, value in (
+            ("rate_hz", args.rate),
+            ("duration_s", args.duration),
+            ("scale_up_latency_s", args.scale_up_latency),
+        ) if value is not None}
+    started = time.time()
+    try:
+        rows, summary = run_cluster(
+            config, mix=mix, arrivals=args.arrivals,
+            workers=args.workers,
+            placement=args.placement, queue_limit=args.queue_limit,
+            frames=args.frames, seed=args.seed, trace=args.trace,
+            use_cache=not args.no_cache,
+            autoscale=args.autoscale, min_workers=args.min_workers,
+            max_workers=args.max_workers, **overrides)
+    except (ValueError, KeyError, OSError) as exc:
+        # ValueError/KeyError carry a crafted message in args[0];
+        # OSError's args[0] is the bare errno, so stringify the whole
+        # exception ("[Errno 2] No such file ...: 'trace.json'").
+        message = (exc.args[0] if isinstance(exc, (ValueError, KeyError))
+                   else exc)
+        print(f"cluster: {message}", file=sys.stderr)
+        return 2
+    elapsed = time.time() - started
+    print_table(rows, title=f"cluster: {len(rows)} workers "
+                            f"({elapsed:.1f}s wall)")
+    print_table([{k: v for k, v in summary.items()
+                  if k != "scale_events"}], title="aggregate")
+    if summary.get("scale_events"):
+        print_table(summary["scale_events"], title="autoscaler timeline")
+    # Cluster runs are run-table experiments (muBench-style): every run
+    # persists its machine-readable report, defaulting next to the other
+    # bench artifacts when --json-out is not given.
+    json_dir = "bench-artifacts" if args.json_out is None else args.json_out
+    path = write_bench_json(json_dir, CLUSTER_COMMAND, rows, elapsed,
+                            config=config, extra=summary)
+    print(f"\nwrote {path}")
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     config = FAST if args.fast else DEFAULT
@@ -180,6 +327,7 @@ def main(argv=None) -> int:
     if args.figure == "list":
         for name in sorted(EXPERIMENTS):
             print(name)
+        print(CLUSTER_COMMAND)
         print(SERVE_COMMAND)
         print(WORKLOADS_COMMAND)
         return 0
@@ -187,6 +335,8 @@ def main(argv=None) -> int:
         return run_workloads_listing()
     if args.figure == SERVE_COMMAND:
         return run_serve(args, config)
+    if args.figure == CLUSTER_COMMAND:
+        return run_cluster_command(args, config)
     if args.figure == "all":
         for name in sorted(EXPERIMENTS):
             run_figure(name, config, json_dir=args.json_out)
@@ -194,7 +344,7 @@ def main(argv=None) -> int:
     if args.figure not in EXPERIMENTS:
         known = ", ".join(sorted(EXPERIMENTS))
         print(f"unknown figure {args.figure!r}; expected one of: {known}, "
-              f"all, serve, workloads, list", file=sys.stderr)
+              f"all, serve, cluster, workloads, list", file=sys.stderr)
         return 2
     run_figure(args.figure, config, json_dir=args.json_out)
     return 0

@@ -1,0 +1,73 @@
+"""Open-loop cluster serving experiment behind ``cli cluster``.
+
+Glues the :mod:`repro.cluster` simulator to the harness surface: resolves
+the workload mix (default: a scene-skewed popular-content mix, the shape
+cache-affinity placement exploits), builds the arrival schedule and
+optional autoscaler from CLI-level knobs, and shapes the
+:class:`~repro.cluster.ClusterReport` into the (rows, summary) pair every
+harness experiment returns — rows per worker, summary for
+``BENCH_cluster.json``.
+"""
+
+from __future__ import annotations
+
+from ..cluster import Autoscaler, simulate_cluster
+from ..workloads import parse_mix
+from .configs import DEFAULT, ExperimentConfig
+
+__all__ = ["DEFAULT_CLUSTER_MIX", "run_cluster"]
+
+# Popularity-skewed default: over half the arrivals share the vr-lego
+# cache key, so co-locating them (cache_affinity) visibly beats spreading
+# them (round_robin) on the cluster-wide reference-cache hit rate.
+DEFAULT_CLUSTER_MIX = "vr-lego:4,dolly-chair:2,vr-headshake:1"
+
+
+def run_cluster(config: ExperimentConfig = DEFAULT, mix=None,
+                arrivals: str = "poisson", rate_hz: float = 1.0,
+                duration_s: float = 10.0, workers: int = 4,
+                placement: str = "least_loaded", queue_limit: int = 4,
+                frames: int | None = None, seed: int = 0, trace=None,
+                use_cache: bool = True,
+                autoscale: bool = False, min_workers: int | None = None,
+                max_workers: int | None = None,
+                scale_up_latency_s: float = 1.0) -> tuple:
+    """Simulate open-loop cluster serving; returns (per-worker rows, summary).
+
+    ``mix`` is any serve mix (``None`` uses :data:`DEFAULT_CLUSTER_MIX`);
+    ``arrivals``/``rate_hz``/``duration_s``/``seed`` parameterise the
+    arrival schedule (``replay`` reads ``trace`` instead).  With
+    ``autoscale`` the fleet starts at ``workers`` and moves between
+    ``min_workers`` (default 1) and ``max_workers`` (default 2x the
+    initial fleet) with ``scale_up_latency_s`` of provisioning delay.
+    Runs are deterministic per seed.
+    """
+    resolved_mix = parse_mix(mix if mix is not None else DEFAULT_CLUSTER_MIX)
+    autoscaler = None
+    if autoscale:
+        floor = 1 if min_workers is None else min_workers
+        ceiling = 2 * workers if max_workers is None else max_workers
+        # The autoscaler only moves the fleet between the bounds — it
+        # never provisions up to a floor above the initial fleet, and a
+        # ceiling below it would start the run permanently over limit —
+        # so the initial size must sit inside them.
+        if not floor <= workers <= ceiling:
+            raise ValueError(
+                f"initial workers ({workers}) must lie within "
+                f"min_workers..max_workers ({floor}..{ceiling})")
+        # Admission caps mean load per worker at queue_limit, so the
+        # scale-up threshold must sit below it or tight queues would shed
+        # every overload as rejects without ever growing the fleet.
+        up_load = min(2.0, 0.5 * queue_limit)
+        autoscaler = Autoscaler(
+            min_workers=floor, max_workers=ceiling,
+            up_load=up_load, down_load=min(0.25, up_load / 2),
+            scale_up_latency_s=scale_up_latency_s)
+    report = simulate_cluster(
+        resolved_mix, config, arrivals=arrivals, rate_hz=rate_hz,
+        duration_s=duration_s, seed=seed, workers=workers,
+        placement=placement, queue_limit=queue_limit, frames=frames,
+        autoscaler=autoscaler, use_cache=use_cache, trace=trace)
+    summary = report.summary()
+    summary["scale_events"] = report.scale_events
+    return list(report.per_worker), summary

@@ -71,7 +71,8 @@ def run_serve(config: ExperimentConfig = DEFAULT, sessions: int = 8,
               scheduler: str = "round_robin", variant: str = "cicero",
               frames: int | None = None, scene_names: tuple = ("lego",),
               algorithm: str = "directvoxgo",
-              workloads=None, use_cache: bool = True) -> tuple:
+              workloads=None, use_cache: bool = True,
+              seed: int | None = None) -> tuple:
     """Serve concurrent users; returns (per-session rows, summary).
 
     ``workloads`` selects a named mix (``"vr-lego:3,dolly-chair"``, a list
@@ -82,7 +83,8 @@ def run_serve(config: ExperimentConfig = DEFAULT, sessions: int = 8,
     changes).  Because the cache outlives the run, repeating a serve in
     one process re-serves its references from the cache — legacy-path
     runs, whose sessions are all distinct, only benefit from this
-    cross-run reuse.
+    cross-run reuse.  ``seed`` offsets every spec's trajectory seed (the
+    CLI's ``--seed``) so stochastic trajectories resample reproducibly.
 
     The scheduler choice also picks the matching within-round service
     order for the latency simulation: round-robin serves in arrival order,
@@ -96,7 +98,7 @@ def run_serve(config: ExperimentConfig = DEFAULT, sessions: int = 8,
     field_before = FIELD_CACHE.stats.snapshot()
     reference_before = REFERENCE_CACHE.stats.snapshot()
 
-    built = build_mixed_sessions(mix, config, frames=frames)
+    built = build_mixed_sessions(mix, config, frames=frames, seed=seed)
     engine = MultiSessionEngine(
         built, scheduler=make_scheduler(scheduler),
         reference_cache=REFERENCE_CACHE if use_cache else None)
@@ -127,6 +129,7 @@ def run_serve(config: ExperimentConfig = DEFAULT, sessions: int = 8,
             "references": stats.references,
             "disoccluded": session.result.mean_disoccluded_fraction(),
             "solo_fps": stats.solo_fps,
+            "utilization": stats.utilization,
             "mean_latency_ms": stats.mean_latency_s * 1e3,
             "p95_latency_ms": stats.p95_latency_s * 1e3,
         })
@@ -143,7 +146,9 @@ def run_serve(config: ExperimentConfig = DEFAULT, sessions: int = 8,
         "total_frames": report.total_frames,
         "aggregate_fps": report.aggregate_fps,
         "mean_latency_ms": report.mean_latency_s * 1e3,
+        "p50_latency_ms": report.p50_latency_s * 1e3,
         "p95_latency_ms": report.p95_latency_s * 1e3,
+        "p99_latency_ms": report.p99_latency_s * 1e3,
         "worst_latency_ms": report.worst_latency_s * 1e3,
         "nerf_calls": batch.nerf_calls,
         "requests_per_call": batch.requests_per_call,

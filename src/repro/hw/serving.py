@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..metrics.stats import percentile_or_zero
 from .soc import SoCModel
 from .workload import workload_from_stats
 
@@ -23,7 +24,12 @@ __all__ = ["SessionServingStats", "ServingReport", "price_session_frames",
 
 @dataclass
 class SessionServingStats:
-    """One session's share of the serving simulation."""
+    """One session's share of the serving simulation.
+
+    ``utilization`` is the fraction of the run's makespan this session
+    kept the shared SoC busy (``busy_s / makespan_s``); the per-session
+    utilizations sum to 1.0 when the SoC never idles.
+    """
 
     session_id: str
     frames: int
@@ -32,6 +38,9 @@ class SessionServingStats:
     solo_fps: float  # rate if the session had the SoC to itself
     mean_latency_s: float
     p95_latency_s: float
+    p50_latency_s: float = 0.0
+    p99_latency_s: float = 0.0
+    utilization: float = 0.0
 
 
 @dataclass
@@ -58,6 +67,8 @@ class ServingReport:
     mean_latency_s: float
     p95_latency_s: float
     worst_latency_s: float
+    p50_latency_s: float = 0.0
+    p99_latency_s: float = 0.0
     per_session: list = field(default_factory=list)
     cache: dict | None = None
 
@@ -134,6 +145,7 @@ def aggregate_serving(session_results: dict, soc: SoCModel | None = None,
             clock += cost
             latencies[sid].append(clock - round_start)
 
+    _pct = percentile_or_zero  # local alias keeps the stat rows compact
     per_session = []
     all_latencies = []
     for sid, result in session_results.items():
@@ -148,7 +160,10 @@ def aggregate_serving(session_results: dict, soc: SoCModel | None = None,
             busy_s=busy,
             solo_fps=len(times) / busy if busy > 0 else 0.0,
             mean_latency_s=float(np.mean(lats)) if lats else 0.0,
-            p95_latency_s=float(np.percentile(lats, 95)) if lats else 0.0,
+            p95_latency_s=_pct(lats, 95),
+            p50_latency_s=_pct(lats, 50),
+            p99_latency_s=_pct(lats, 99),
+            utilization=busy / clock if clock > 0 else 0.0,
         ))
 
     total_frames = sum(s.frames for s in per_session)
@@ -159,9 +174,10 @@ def aggregate_serving(session_results: dict, soc: SoCModel | None = None,
         aggregate_fps=total_frames / clock if clock > 0 else 0.0,
         mean_latency_s=(float(np.mean(all_latencies))
                         if all_latencies else 0.0),
-        p95_latency_s=(float(np.percentile(all_latencies, 95))
-                       if all_latencies else 0.0),
+        p95_latency_s=_pct(all_latencies, 95),
         worst_latency_s=max(all_latencies, default=0.0),
+        p50_latency_s=_pct(all_latencies, 50),
+        p99_latency_s=_pct(all_latencies, 99),
         per_session=per_session,
         cache=cache_stats,
     )

@@ -4,7 +4,24 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["geometric_mean", "arithmetic_mean", "speedup", "normalize_to"]
+__all__ = ["geometric_mean", "arithmetic_mean", "speedup", "normalize_to",
+           "percentile_or_zero", "mean_or_zero"]
+
+
+def percentile_or_zero(values, q: float) -> float:
+    """Empty-safe percentile: latency tails of a run that served nothing.
+
+    Shared by the serving and cluster reports so their p50/p95/p99
+    columns can never drift apart in interpolation or empty handling.
+    """
+    values = list(values)
+    return float(np.percentile(values, q)) if values else 0.0
+
+
+def mean_or_zero(values) -> float:
+    """Empty-safe arithmetic mean (reporting counterpart of the above)."""
+    values = list(values)
+    return float(np.mean(values)) if values else 0.0
 
 
 def geometric_mean(values) -> float:

@@ -93,20 +93,22 @@ def parse_mix(mix) -> list:
     return list(merged.items())
 
 
-def build_mixed_sessions(mix, config, frames: int | None = None) -> list:
+def build_mixed_sessions(mix, config, frames: int | None = None,
+                         seed: int | None = None) -> list:
     """Engine sessions for a workload mix at a config scale.
 
     Copies of one spec are *identical* sessions (same trajectory, same
     reference poses) — many users consuming the same content — so their
     reference renders coalesce in the shared cache.  ``frames`` overrides
-    every spec's sequence length (the CLI's ``--frames``).
+    every spec's sequence length (the CLI's ``--frames``).  ``seed``
+    offsets every spec's trajectory seed (the CLI's ``--seed``), so
+    stochastic trajectories resample reproducibly run to run; copies of a
+    spec still share one derived seed and keep coalescing.  ``None``
+    leaves the specs' own seeds untouched.
     """
-    import dataclasses
-
     sessions = []
     for spec, count in parse_mix(mix):
-        if frames is not None:
-            spec = dataclasses.replace(spec, frames=int(frames))
+        spec = spec.with_overrides(frames=frames, seed_offset=seed)
         for i in range(count):
             sessions.append(
                 spec.build_session(f"{spec.name}-{i:02d}", config))

@@ -87,6 +87,25 @@ class WorkloadSpec:
         if self.tier not in TIERS:
             raise ValueError(f"unknown tier {self.tier!r}; one of: {TIERS}")
 
+    def with_overrides(self, frames: int | None = None,
+                       seed_offset: int | None = None) -> "WorkloadSpec":
+        """Spec with the harness-level overrides applied (one code path
+        for ``--frames``/``--seed`` across serve and cluster).
+
+        ``frames`` replaces the sequence length; ``seed_offset`` shifts
+        the trajectory seed so stochastic trajectories resample
+        reproducibly run to run — copies of one spec share the derived
+        seed, so they keep coalescing in the shared caches.  Both
+        overrides change :meth:`spec_hash` (and so ``cache_key``)
+        consistently for every consumer.
+        """
+        changes = {}
+        if frames is not None:
+            changes["frames"] = int(frames)
+        if seed_offset:
+            changes["seed"] = self.seed + int(seed_offset)
+        return dataclasses.replace(self, **changes) if changes else self
+
     # -- identity ---------------------------------------------------------------
 
     def spec_hash(self) -> str:

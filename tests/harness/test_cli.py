@@ -20,10 +20,11 @@ class TestParser:
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve", "--fast"])
         assert args.figure == "serve"
-        # --sessions defaults late (to 4) so explicit use can be detected
-        # and rejected when combined with --workload.
+        # --sessions/--scheduler default late (to 4 / round_robin) so
+        # explicit use can be detected and rejected when combined with
+        # --workload or the cluster command.
         assert args.sessions is None
-        assert args.scheduler == "round_robin"
+        assert args.scheduler is None
         assert args.json_out is None
 
 
