@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 from ..metrics.stats import mean_or_zero as _mean
 from ..metrics.stats import percentile_or_zero as _percentile
-from .admission import AdmissionController
+from .admission import REJECT_QUEUE_FULL, AdmissionController
 from .arrivals import make_arrivals
 from .autoscale import Autoscaler
 from .placement import make_placement
@@ -70,6 +70,13 @@ class ClusterReport:
     ref_cache_hit_rate: float
     per_worker: list = field(default_factory=list)
     scale_events: list = field(default_factory=list)
+    # Quality-governor accounting (defaults describe an ungoverned run).
+    governor: str = "off"
+    overflow_admissions: int = 0
+    tier_transitions: int = 0
+    mean_quality_level: float = 0.0
+    quality_by_level: dict = field(default_factory=dict)
+    governor_events: list = field(default_factory=list)
 
     def summary(self) -> dict:
         """Flat aggregate row for tables and ``BENCH_cluster.json``."""
@@ -104,6 +111,10 @@ class ClusterReport:
                              if e["action"] == "up_completed"),
             "scale_downs": sum(1 for e in self.scale_events
                                if e["action"] == "down"),
+            "governor": self.governor,
+            "overflow_admissions": self.overflow_admissions,
+            "tier_transitions": self.tier_transitions,
+            "mean_quality_level": self.mean_quality_level,
         }
 
 
@@ -116,7 +127,8 @@ class ClusterSimulator:
                  autoscaler: Autoscaler | None = None,
                  use_cache: bool = True,
                  worker_cache_entries: int = 256,
-                 worker_cache_bytes: int = 64 << 20):
+                 worker_cache_bytes: int = 64 << 20,
+                 governor=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.config = config
@@ -126,6 +138,10 @@ class ClusterSimulator:
                           if isinstance(placement, str) else placement)
         self.admission = AdmissionController(queue_limit)
         self.autoscaler = autoscaler
+        # Optional ClusterGovernor: pressure-scaled admission levels,
+        # SLO-driven retuning of residents, and overflow admission.
+        self.governor = governor
+        self.governor_events: list = []
         self.use_cache = use_cache
         self.workers: list = []
         self._worker_seq = 0
@@ -192,15 +208,55 @@ class ClusterSimulator:
         spec = arrival.spec.with_overrides(frames=self.frames,
                                            seed_offset=self.seed)
         eligible, reason = self.admission.eligible(self._live())
+        if reason == REJECT_QUEUE_FULL and self.governor is not None:
+            # Graceful shedding: degrade the least-loaded worker's
+            # residents and take the newcomer into an overflow slot at
+            # its deepest allowed rung, instead of rejecting it.
+            worker = self.governor.overflow_target(self._live())
+            if worker is not None:
+                self._shed(worker, now_s)
+                self._admit(worker, spec, now_s,
+                            level=spec.max_quality_level,
+                            action="overflow_admit")
+                return
         if reason is not None:
             self.admission.record_reject(reason)
             return
         worker = self.placement.choose(spec.cache_key(self.config), eligible)
+        level = (self.governor.admission_level(spec, worker)
+                 if self.governor is not None else 0)
+        self._admit(worker, spec, now_s, level=level,
+                    action="degraded_admit" if level else None)
+
+    def _admit(self, worker: Worker, spec, now_s: float, level: int,
+               action: str | None) -> None:
         session_id = f"a{self._session_seq:04d}-{spec.name}"
         self._session_seq += 1
-        worker.admit(session_id, spec, now_s)
+        worker.admit(session_id, spec, now_s, level=level)
         self.admission.record_admit()
+        if self.governor is not None:
+            self.governor.register(session_id, spec, level)
+            if action is not None:
+                self._governor_event(now_s, action, session_id, worker,
+                                     level)
         self._dispatch(worker, now_s)
+
+    def _shed(self, worker: Worker, now_s: float) -> None:
+        """Degrade every retunable resident of ``worker`` by one rung."""
+        for placed in list(worker.sessions):
+            target = min(placed.level + 1, placed.spec.max_quality_level)
+            if target == placed.level:
+                continue
+            if worker.retune_session(placed, target):
+                self.governor.governor.pin(placed.session_id, target)
+                self._governor_event(now_s, "shed_degrade",
+                                     placed.session_id, worker, target)
+
+    def _governor_event(self, now_s: float, action: str, session_id: str,
+                        worker: Worker, level: int) -> None:
+        self.governor_events.append({
+            "t": now_s, "action": action, "session": session_id,
+            "worker": worker.worker_id, "level": level})
 
     # -- run ---------------------------------------------------------------------
 
@@ -221,6 +277,17 @@ class ClusterSimulator:
                 worker, session = payload
                 worker.finish_frame(session, now_s)
                 self._makespan = max(self._makespan, now_s)
+                if self.governor is not None and not session.done:
+                    old_level = session.level
+                    new_level = self.governor.on_frame(
+                        session.session_id, session.latencies_s[-1])
+                    if new_level is not None \
+                            and worker.retune_session(session, new_level):
+                        self._governor_event(
+                            now_s,
+                            "degrade" if new_level > old_level else
+                            "recover", session.session_id, worker,
+                            new_level)
                 self._dispatch(worker, now_s)
                 self._autoscale(now_s)
             elif kind == "worker_up":
@@ -235,9 +302,10 @@ class ClusterSimulator:
     # -- reporting ---------------------------------------------------------------
 
     def _report(self, label: str) -> ClusterReport:
-        placed = [s for w in self.workers for s in (w.completed + w.sessions)]
-        latencies = [lat for s in placed for lat in s.latencies_s]
-        ttff = [s.first_frame_s - s.arrival_s for s in placed
+        placed_sessions = [s for w in self.workers
+                           for s in (w.completed + w.sessions)]
+        latencies = [lat for s in placed_sessions for lat in s.latencies_s]
+        ttff = [s.first_frame_s - s.arrival_s for s in placed_sessions
                 if s.first_frame_s is not None]
         makespan = self._makespan
         per_worker = [w.stats_row(makespan) for w in self.workers]
@@ -250,6 +318,16 @@ class ClusterSimulator:
                           "workers": e.workers}
                          for e in self.autoscaler.events]
                         if self.autoscaler is not None else [])
+        # Frame-weighted quality accounting: which ladder rung every
+        # served frame rendered at, bucketed per workload name.
+        quality_by_level: dict = {}
+        level_frames = level_sum = 0
+        for session in placed_sessions:
+            buckets = quality_by_level.setdefault(session.spec.name, {})
+            for level in session.frame_levels:
+                buckets[level] = buckets.get(level, 0) + 1
+                level_frames += 1
+                level_sum += level
         return ClusterReport(
             placement=self.placement.name,
             arrivals=label,
@@ -264,7 +342,7 @@ class ClusterSimulator:
             reject_reasons=dict(stats.rejected_by_reason),
             completed_sessions=sum(len(w.completed) for w in self.workers),
             total_frames=total_frames,
-            total_references=sum(s.references for s in placed),
+            total_references=sum(s.references for s in placed_sessions),
             makespan_s=makespan,
             aggregate_fps=total_frames / makespan if makespan > 0 else 0.0,
             ttff_mean_s=_mean(ttff),
@@ -281,6 +359,15 @@ class ClusterSimulator:
             ref_cache_hit_rate=hits / lookups if lookups else 0.0,
             per_worker=per_worker,
             scale_events=scale_events,
+            governor=(self.governor.mode if self.governor is not None
+                      else "off"),
+            overflow_admissions=(self.governor.overflow_admissions
+                                 if self.governor is not None else 0),
+            tier_transitions=sum(s.transitions for s in placed_sessions),
+            mean_quality_level=(level_sum / level_frames
+                                if level_frames else 0.0),
+            quality_by_level=quality_by_level,
+            governor_events=list(self.governor_events),
         )
 
 
@@ -291,23 +378,36 @@ def simulate_cluster(mix, config, arrivals: str = "poisson",
                      frames: int | None = None,
                      autoscaler: Autoscaler | None = None,
                      use_cache: bool = True,
+                     governor: str = "off", slo_fps: float | None = None,
                      trace=None, **arrival_params) -> ClusterReport:
     """One-call cluster run: generate arrivals, simulate, report.
 
     ``mix`` is any serve mix (``"vr-lego:3,dolly-chair"`` or ``(spec,
     count)`` pairs); ``arrivals`` picks the process (``replay`` reads
     ``trace``).  ``seed`` drives the arrival schedule *and* offsets the
-    specs' trajectory seeds.  Same arguments, same seed, same report —
-    bit for bit.
+    specs' trajectory seeds.  ``governor`` attaches the SLO quality
+    governor (``"static"`` or ``"adaptive"``); ``slo_fps`` rewrites every
+    workload's SLO up front (:func:`repro.workloads.apply_slo`), so the
+    governor reads exactly one SLO source — the specs.  Same arguments,
+    same seed, same report — bit for bit.
     """
+    if slo_fps is not None:
+        from ..workloads import apply_slo
+        mix = apply_slo(mix, slo_fps)
     if arrivals == "replay":
         arrival_params["trace"] = trace
     schedule = make_arrivals(arrivals, mix, rate_hz=rate_hz,
                              duration_s=duration_s, seed=seed,
                              **arrival_params)
+    cluster_governor = None
+    if governor != "off":
+        from ..control import ClusterGovernor
+        cluster_governor = ClusterGovernor(config, mode=governor,
+                                           queue_limit=queue_limit)
     simulator = ClusterSimulator(config, workers=workers,
                                  placement=placement,
                                  queue_limit=queue_limit, frames=frames,
                                  seed=seed, autoscaler=autoscaler,
-                                 use_cache=use_cache)
+                                 use_cache=use_cache,
+                                 governor=cluster_governor)
     return simulator.run(schedule, label=arrivals)

@@ -39,6 +39,13 @@ class PlacedSession:
     last_completion_s: float = 0.0
     first_frame_s: float | None = None
     latencies_s: list = field(default_factory=list)
+    # Quality-governor state: current ladder rung, the rung each frame
+    # was rendered at, which frames carried a new reference render (so a
+    # retune can re-account its tail exactly), and retune count.
+    level: int = 0
+    frame_levels: list = field(default_factory=list)
+    frame_refs: list = field(default_factory=list)
+    transitions: int = 0
 
     @property
     def done(self) -> bool:
@@ -74,6 +81,7 @@ class Worker:
         self.retired_s: float | None = None
         self.sessions: list = []  # resident (unfinished) PlacedSessions
         self.completed: list = []
+        self.current: PlacedSession | None = None  # frame in flight
         self.busy_s = 0.0
         self.busy_until_s = float(started_s)
         self.frames_served = 0
@@ -98,19 +106,34 @@ class Worker:
 
     # -- admission ---------------------------------------------------------------
 
-    def admit(self, session_id: str, spec, now_s: float) -> PlacedSession:
-        """Render + price one session's sequence and enqueue its frames.
+    def _render(self, session_id: str, spec, level: int, poses=None):
+        """Render (a slice of) a session's sequence on this worker's engine.
 
         Rendering goes through this worker's engine with the worker-local
         reference cache attached, so sessions sharing the spec's
         ``cache_key`` reuse each other's reference renders — the signal
-        cache-affinity placement optimises for.
+        cache-affinity placement optimises for.  ``level`` picks the
+        quality-ladder rung; ``poses`` restricts to a trajectory slice
+        (mid-serve retunes re-render only the remaining frames).
         """
-        engine_session = spec.build_session(session_id, self.config)
+        from ..control.tiers import build_level_session
+        engine_session = build_level_session(spec, session_id, self.config,
+                                             level, poses=poses)
         MultiSessionEngine(
             [engine_session],
             reference_cache=(self.reference_cache if self.use_cache
                              else None)).run()
+        return engine_session
+
+    def admit(self, session_id: str, spec, now_s: float,
+              level: int = 0) -> PlacedSession:
+        """Render + price one session's sequence and enqueue its frames.
+
+        ``level`` is the quality-ladder rung the governor admits the
+        session at (0 — the default — is bit-identical to ungoverned
+        admission).
+        """
+        engine_session = self._render(session_id, spec, level)
         costs = price_session_frames(engine_session.result, self.soc,
                                      spec.variant)
         placed = PlacedSession(
@@ -118,13 +141,54 @@ class Worker:
             arrival_s=float(now_s), frame_costs=costs,
             fps_target=spec.fps_target,
             references=engine_session.result.num_references,
-            last_completion_s=float(now_s))
+            last_completion_s=float(now_s),
+            level=int(level), frame_levels=[int(level)] * len(costs),
+            frame_refs=[r.new_reference
+                        for r in engine_session.result.records])
         if placed.done:  # zero-frame sequence: nothing to serve
             self.completed.append(placed)
         else:
             self.sessions.append(placed)
         self.sessions_admitted += 1
         return placed
+
+    # -- governor retuning (mid-serve quality switches) ---------------------------
+
+    def retune_session(self, placed: PlacedSession, level: int) -> int:
+        """Re-render a resident session's remaining frames at a new rung.
+
+        Frames already served (and the frame currently in flight, if this
+        session owns it) keep their recorded costs and levels; everything
+        after is re-rendered at ``level`` through the worker's engine —
+        the re-render starts with a fresh reference, so the quality
+        switch pays a realistic keyframe cost.  Returns the number of
+        frames retuned (0 means nothing left to change).
+        """
+        start = placed.next_frame
+        if self.current is placed:  # don't reprice an in-flight frame
+            start += 1
+        total = len(placed.frame_costs)
+        if level == placed.level or start >= total:
+            return 0
+        # Any frames/seed overrides were already folded into the placed
+        # spec at arrival time; the ladder never changes the trajectory,
+        # so the original poses slice cleanly.
+        poses = placed.spec.build_trajectory(self.config).poses
+        poses = poses[:total][start:]
+        engine_session = self._render(
+            f"{placed.session_id}/l{level}@{start}", placed.spec, level,
+            poses=poses)
+        costs = price_session_frames(engine_session.result, self.soc,
+                                     placed.spec.variant)
+        refs = [r.new_reference for r in engine_session.result.records]
+        # The discarded tail's references leave the accounting with it.
+        placed.references += sum(refs) - sum(placed.frame_refs[start:])
+        placed.frame_costs[start:] = costs
+        placed.frame_levels[start:] = [int(level)] * len(costs)
+        placed.frame_refs[start:] = refs
+        placed.level = int(level)
+        placed.transitions += 1
+        return len(costs)
 
     # -- frame service (driven by the simulator's event loop) --------------------
 
@@ -158,6 +222,7 @@ class Worker:
         completion = now_s + cost
         self.busy_s += cost
         self.busy_until_s = completion
+        self.current = session
         return completion
 
     def finish_frame(self, session: PlacedSession, now_s: float) -> None:
@@ -169,6 +234,7 @@ class Worker:
         session.last_completion_s = now_s
         session.next_frame += 1
         self.frames_served += 1
+        self.current = None
         if session.done:
             self.sessions.remove(session)
             self.completed.append(session)

@@ -1,0 +1,46 @@
+"""SLO-driven adaptive quality control plane.
+
+The paper's core trade — spend compute only where it buys perceptible
+quality — turned into a serving control loop: a per-session
+:class:`QualityGovernor` observes frame latency against each workload's
+SLO and moves sessions along a quality ladder (degrading before frames
+drop, recovering hysteretically when headroom returns), with integration
+shims for the multi-session engine (:class:`EngineGovernor`: mid-stream
+tier switches + per-round ray-budget weights) and the cluster fleet
+(:class:`ClusterGovernor`: pressure-scaled admission levels, resident
+degradation, bounded overflow admission instead of rejection).
+"""
+
+from .cluster_governor import ClusterGovernor
+from .engine_governor import EngineGovernor
+from .governor import (
+    GOVERNOR_MODES,
+    GovernorPolicy,
+    QualityGovernor,
+    SessionControl,
+    split_budget,
+)
+from .quality import level_quality, mean_psnr_of_levels, quality_floor
+from .tiers import (
+    QUALITY_LEVELS,
+    build_level_session,
+    ladder_config,
+    spec_at_level,
+)
+
+__all__ = [
+    "ClusterGovernor",
+    "EngineGovernor",
+    "GOVERNOR_MODES",
+    "GovernorPolicy",
+    "QualityGovernor",
+    "SessionControl",
+    "split_budget",
+    "level_quality",
+    "mean_psnr_of_levels",
+    "quality_floor",
+    "QUALITY_LEVELS",
+    "build_level_session",
+    "ladder_config",
+    "spec_at_level",
+]

@@ -1,0 +1,118 @@
+"""Engine-layer governor: closed-loop tier/budget control inside one SoC.
+
+Wraps a :class:`~.governor.QualityGovernor` with everything the
+multi-session engine needs to run it online: a virtual service clock
+(each completed frame is priced on the SoC model and advances it), SLO
+latency derivation per workload, mid-stream retuning (resolving the
+degraded renderer through the shared ``FIELD_CACHE`` — no re-bake), and
+the per-round ray-budget weights.  The engine itself stays policy-free:
+it only calls :meth:`share_weights` and :meth:`observe_record`.
+"""
+
+from __future__ import annotations
+
+from ..hw.serving import price_frame_record
+from ..hw.soc import SoCModel
+from .governor import GovernorPolicy, QualityGovernor
+from .tiers import spec_at_level
+
+__all__ = ["EngineGovernor"]
+
+
+class EngineGovernor:
+    """Online SLO feedback for a :class:`~repro.engine.MultiSessionEngine`.
+
+    Parameters
+    ----------
+    config:
+        Base :class:`ExperimentConfig` the sessions were built against
+        (ladder configs derive from it).
+    mode:
+        ``"static"`` or ``"adaptive"`` (``"off"`` means: don't attach a
+        governor at all).
+    soc:
+        Hardware model pricing completed frames for the virtual service
+        clock (default-configured :class:`SoCModel` if None).
+
+    Each session's latency target comes from its own workload's
+    ``slo_latency_s`` — mix-wide SLO overrides are a spec rewrite
+    (:func:`repro.workloads.apply_slo`), not a governor knob, so there is
+    exactly one place an SLO can come from.
+    """
+
+    def __init__(self, config, mode: str = "adaptive",
+                 policy: GovernorPolicy | None = None,
+                 soc: SoCModel | None = None):
+        self.config = config
+        self.governor = QualityGovernor(mode, policy)
+        self.soc = soc or SoCModel(feature_dim=config.feature_dim)
+        self.clock_s = 0.0
+        self.events: list = []
+
+    @property
+    def mode(self) -> str:
+        return self.governor.mode
+
+    # -- engine hooks ------------------------------------------------------------
+
+    def attach(self, sessions: list) -> None:
+        """Register every workload-built session (others stay ungoverned).
+
+        ``static`` mode pins sessions at their deepest allowed rung; a
+        session not already built there is retuned before its next frame.
+        """
+        for session in sessions:
+            spec = session.workload
+            if spec is None:
+                continue
+            control = self.governor.register(
+                session.session_id, spec.slo_latency_s,
+                spec.max_quality_level)
+            if control.level != session.quality_level:
+                self._retune(session, control.level)
+
+    def share_weights(self, sessions: list) -> list:
+        """Per-session ray-budget weights in the given order."""
+        return [self.governor.weight(s.session_id) for s in sessions]
+
+    def observe_record(self, session, record) -> None:
+        """Account one completed frame; maybe retune the session.
+
+        The virtual clock models one shared SoC serving frames in
+        completion order; a frame's latency is the clock at completion
+        minus its open-loop request time (``frame_index / fps_target``).
+        """
+        spec = session.workload
+        if spec is None or session.session_id not in self.governor.sessions:
+            return
+        self.clock_s += price_frame_record(record, self.soc, spec.variant)
+        request_s = record.frame_index / spec.fps_target
+        latency_s = max(self.clock_s - request_s, 0.0)
+        new_level = self.governor.observe(session.session_id, latency_s)
+        if new_level is not None:
+            self._retune(session, new_level)
+
+    # -- retuning ----------------------------------------------------------------
+
+    def _retune(self, session, level: int) -> None:
+        spec = session.workload
+        level_spec, config = spec_at_level(spec, self.config, level)
+        from ..harness.configs import make_camera
+        session.retune(level_spec.build_renderer(config),
+                       make_camera(config), level=level,
+                       cache_key=level_spec.cache_key(config))
+        self.events.append({
+            "clock_s": self.clock_s, "session": session.session_id,
+            "frame": session.frames_completed, "level": level})
+
+    # -- reporting ---------------------------------------------------------------
+
+    def summary(self) -> dict:
+        levels = {sid: c.level for sid, c in self.governor.sessions.items()}
+        return {
+            "governor": self.mode,
+            "tier_transitions": len(self.events),
+            "governed_sessions": len(levels),
+            "mean_final_level": (sum(levels.values()) / len(levels)
+                                 if levels else 0.0),
+        }

@@ -1,0 +1,84 @@
+"""The quality-degradation ladder the SLO governor moves sessions along.
+
+Each workload owns a ladder of *quality levels* relative to its native
+tier (:data:`~repro.workloads.spec.QUALITY_LEVELS`): level 0 renders at
+the spec's resolved config, and every step down halves frame resolution
+and ray-march depth — roughly quartering the per-frame ray work, which is
+exactly the spend-compute-where-it-buys-quality trade of the paper turned
+into a serving control knob.  Ladder configs differ only in imaging
+parameters, so :func:`~repro.harness.configs.build_renderer` resolves a
+degraded renderer around the *same* baked field via the shared
+``FIELD_CACHE`` — a tier switch never re-bakes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..workloads.spec import QUALITY_LEVELS, WorkloadSpec
+
+__all__ = ["QUALITY_LEVELS", "ladder_config", "spec_at_level",
+           "build_level_session"]
+
+# Floors keep degraded configs renderable (and strictly ordered at the
+# FAST test scale: 48px -> 24px -> 16px).
+_MIN_IMAGE_SIZE = 16
+_MIN_SAMPLES = 12
+
+
+def ladder_config(spec: WorkloadSpec, base, level: int):
+    """The :class:`ExperimentConfig` this spec renders at ``level``.
+
+    Level 0 is the spec's own resolved config; each further level halves
+    ``image_size`` and ``samples_per_ray`` (floored so the ladder stays
+    strictly ordered at test scales).
+    """
+    if not 0 <= level < len(QUALITY_LEVELS):
+        raise ValueError(f"quality level must be in "
+                         f"0..{len(QUALITY_LEVELS) - 1}, got {level}")
+    resolved = spec.resolve_config(base)
+    if level == 0:
+        return resolved
+    factor = 2 ** level
+    return dataclasses.replace(
+        resolved,
+        image_size=max(_MIN_IMAGE_SIZE, resolved.image_size // factor),
+        samples_per_ray=max(_MIN_SAMPLES,
+                            resolved.samples_per_ray // factor))
+
+
+def spec_at_level(spec: WorkloadSpec, base, level: int) -> tuple:
+    """``(spec', config')`` rendering this workload at a ladder level.
+
+    The returned spec has ``tier="inherit"`` so building it against the
+    concrete ladder config bypasses its own tier resolution; its
+    ``spec_hash``/``cache_key`` therefore stay content-addressed per
+    level (degraded references never collide with full-quality ones in
+    the shared caches).
+    """
+    return (dataclasses.replace(spec, tier="inherit"),
+            ladder_config(spec, base, level))
+
+
+def build_level_session(spec: WorkloadSpec, session_id: str, base,
+                        level: int, poses=None):
+    """An engine :class:`~repro.engine.RenderSession` at a ladder level.
+
+    ``poses`` optionally replaces the spec's own trajectory (the cluster
+    worker re-renders the *remaining* poses of a resident session when
+    the governor retunes it mid-serve).  Level 0 with default poses is
+    bit-identical to ``spec.build_session``.
+    """
+    if level == 0 and poses is None:
+        session = spec.build_session(session_id, base)
+    else:
+        from ..engine.session import RenderSession
+        level_spec, config = spec_at_level(spec, base, level)
+        if poses is None:
+            poses = level_spec.build_trajectory(config).poses
+        session = RenderSession(
+            session_id, level_spec.build_sparw(config), poses,
+            fps_target=spec.fps_target,
+            cache_key=level_spec.cache_key(config), workload=spec)
+    session.quality_level = level
+    return session

@@ -146,6 +146,25 @@ class SparwRenderer:
         else:
             raise ValueError(f"unknown reference policy {policy!r}")
         self._chained = policy == "on_trajectory"
+        self._retune: tuple | None = None
+
+    def retune(self, renderer: NeRFRenderer | None = None,
+               camera: PinholeCamera | None = None,
+               on_apply=None) -> None:
+        """Stage a mid-stream quality switch (the governor's tier move).
+
+        Takes effect at the start of the next frame :meth:`step` begins:
+        the pipeline swaps in the new renderer/camera and *forces a fresh
+        reference*, so warped targets never mix resolutions with their
+        reference.  ``on_apply`` (optional) is called at that moment — a
+        frame may still be in flight at the old settings when the switch
+        is staged, so level/cache bookkeeping must wait for the swap to
+        land.  ``None`` keeps the current renderer or camera.  A pipeline
+        that is never retuned behaves bit-identically to one without this
+        method.
+        """
+        self._retune = (renderer or self.renderer, camera or self.camera,
+                        on_apply)
 
     # -- reference path ----------------------------------------------------------
 
@@ -265,6 +284,16 @@ class SparwRenderer:
         previous_output: Frame | None = None
 
         for i, pose in enumerate(poses):
+            if self._retune is not None:
+                # Apply the staged quality switch at a frame boundary:
+                # dropping the reference (and chained output) forces a
+                # fresh full render at the new resolution below.
+                self.renderer, self.camera, on_apply = self._retune
+                self._retune = None
+                reference = None
+                previous_output = None
+                if on_apply is not None:
+                    on_apply()
             ref_stats = None
             new_ref = self.policy.needs_new_reference(i)
             if new_ref or reference is None:

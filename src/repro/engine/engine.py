@@ -127,10 +127,20 @@ class MultiSessionEngine:
         one evaluation).  Because rendering is deterministic, cached
         serving is bit-identical to uncached serving.  ``None`` disables
         cross-session reference reuse.
+    governor:
+        Optional :class:`~repro.control.EngineGovernor`.  When attached,
+        each completed frame is reported to it (it may retune a session's
+        quality tier mid-stream), and with a ``ray_budget`` the per-round
+        budget is split into per-session shares by the governor's weights
+        (conserving the total — see
+        :func:`~repro.control.governor.split_budget`) instead of served
+        as a plain prefix.  ``None`` keeps the engine bit-identical to
+        the ungoverned behaviour.
     """
 
     def __init__(self, sessions: list, scheduler=None,
-                 ray_budget: int | None = None, reference_cache=None):
+                 ray_budget: int | None = None, reference_cache=None,
+                 governor=None):
         ids = [s.session_id for s in sessions]
         if len(set(ids)) != len(ids):
             raise ValueError("session ids must be unique")
@@ -140,18 +150,28 @@ class MultiSessionEngine:
         self.scheduler = scheduler or RoundRobinScheduler()
         self.ray_budget = ray_budget
         self.reference_cache = reference_cache
+        self.governor = governor
 
     def run(self) -> EngineResult:
         """Serve every session to completion; returns the combined result."""
         stats = BatchStats()
         round_index = 0
+        if self.governor is not None:
+            self.governor.attach(self.sessions)
         while True:
             active = [s for s in self.sessions if not s.done]
             if not active:
                 break
             ordered = self.scheduler.order(active, round_index)
             served = self._select(ordered)
-            self._serve_round(served, stats)
+            if self.governor is None:
+                self._serve_round(served, stats)
+            else:
+                frames_before = [(s, s.result.num_frames) for s in served]
+                self._serve_round(served, stats)
+                for session, before in frames_before:
+                    for record in session.result.records[before:]:
+                        self.governor.observe_record(session, record)
             stats.rounds += 1
             round_index += 1
         return EngineResult(sessions=list(self.sessions), batch=stats)
@@ -168,6 +188,8 @@ class MultiSessionEngine:
         """
         if self.ray_budget is None:
             return ordered
+        if self.governor is not None:
+            return self._select_weighted(ordered)
         served, spent = [], 0
         seen_keys: set = set()
         for session in ordered:
@@ -183,6 +205,37 @@ class MultiSessionEngine:
                 break
             served.append(session)
             spent += rays
+        return served
+
+    def _select_weighted(self, ordered: list) -> list:
+        """Governed budget: each session owns a weighted share of the round.
+
+        The round's ray budget is split into integer per-session shares
+        by the governor's weights (``split_budget`` conserves the total);
+        unused allowance rolls forward to later sessions in scheduler
+        order, so the round stays work-conserving.  Cache-served requests
+        cost no budget, and the head of the ordering is always served.
+        """
+        from ..control.governor import split_budget
+        shares = split_budget(self.ray_budget,
+                              self.governor.share_weights(ordered))
+        served, carry = [], 0
+        seen_keys: set = set()
+        for session, share in zip(ordered, shares):
+            ckey = self._reference_cache_key(session)
+            if ckey is not None and (ckey in seen_keys
+                                     or ckey in self.reference_cache):
+                rays = 0
+            else:
+                rays = session.pending_request.num_rays
+            allowance = share + carry
+            if not served or rays <= allowance:
+                if rays and ckey is not None:
+                    seen_keys.add(ckey)
+                served.append(session)
+                carry = max(allowance - rays, 0)
+            else:
+                carry = allowance
         return served
 
     def _reference_cache_key(self, session: RenderSession) -> tuple | None:

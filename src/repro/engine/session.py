@@ -58,6 +58,7 @@ class RenderSession:
         self.fps_target = float(fps_target)
         self.cache_key = cache_key
         self.workload = workload
+        self.quality_level = 0  # ladder rung (0 = the spec's native tier)
         self.result = SparwSequenceResult()
         self._gen = sparw.step(self.poses)
         self._pending: RayRequest | None = None
@@ -93,6 +94,29 @@ class RenderSession:
     def next_deadline(self) -> float:
         """Virtual due-time of the next frame at the session's target rate."""
         return self.frames_completed / self.fps_target
+
+    # -- retuning ---------------------------------------------------------------
+
+    def retune(self, renderer, camera, level: int | None = None,
+               cache_key: str | None = None) -> None:
+        """Switch this session's quality tier mid-stream (governor move).
+
+        Stages the swap in the SPARW pipeline; it lands at the next frame
+        boundary with a forced fresh reference.  The session's ladder
+        level and content-addressed ``cache_key`` update *when the swap
+        lands*, not when it is staged — a request generated at the old
+        settings may still be pending, and it must keep coalescing with
+        old-tier peers in the shared cache until the new tier actually
+        renders.
+        """
+        def _apply() -> None:
+            if level is not None:
+                self.quality_level = int(level)
+            if cache_key is not None:
+                self.cache_key = cache_key
+
+        self.sparw.retune(renderer=renderer, camera=camera,
+                          on_apply=_apply)
 
     # -- driving ----------------------------------------------------------------
 

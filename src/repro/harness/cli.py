@@ -12,6 +12,9 @@ open-loop cluster simulator from a shell::
         --workload vr-lego:3 --workload dolly-chair:2
     python -m repro.harness.cli cluster --fast --arrivals poisson \\
         --rate 1.5 --duration 8 --workers 4 --placement cache_affinity
+    python -m repro.harness.cli cluster --fast --governor adaptive \\
+        --slo 2000 --rate 40 --duration 1 --workers 1 --queue-limit 2
+    python -m repro.harness.cli frontier --fast --rates 8,24,72 --frames 3
 
 ``--fast`` uses the reduced test-scale configuration (seconds per figure);
 the default scale matches the benchmarks (minutes for the quality figures).
@@ -31,6 +34,7 @@ import sys
 import time
 
 from ..cluster import ARRIVAL_KINDS, PLACEMENTS
+from ..control import GOVERNOR_MODES
 from ..hw.soc import VARIANTS
 from ..workloads import list_workloads, parse_mix
 from .configs import ALGORITHMS, DEFAULT, FAST, scene_of
@@ -40,6 +44,7 @@ from .reporting import print_table, write_bench_json
 SERVE_COMMAND = "serve"
 WORKLOADS_COMMAND = "workloads"
 CLUSTER_COMMAND = "cluster"
+FRONTIER_COMMAND = "frontier"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,8 +55,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "figure",
         help="figure id (e.g. fig07), 'all', 'serve', 'cluster', "
-             "'workloads' to list the named workload registry, or 'list' "
-             "to print available ids")
+             "'frontier' (quality-vs-throughput sweep), 'workloads' to "
+             "list the named workload registry, or 'list' to print "
+             "available ids")
     parser.add_argument(
         "--fast", action="store_true",
         help="use the reduced test-scale configuration")
@@ -60,7 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write BENCH_<figure>.json artifacts into DIR")
     shared = parser.add_argument_group(
         "serve/cluster options",
-        "used by both the 'serve' and 'cluster' commands")
+        "used by the 'serve', 'cluster', and 'frontier' commands")
     serve = parser.add_argument_group(
         "serve options", "only used with the 'serve' command")
     serve.add_argument("--sessions", type=int, default=None,
@@ -99,11 +105,35 @@ def build_parser() -> argparse.ArgumentParser:
                         help="seed for every stochastic choice (trajectory "
                              "sampling, arrival schedule); same seed, same "
                              "run (default 0)")
+    shared.add_argument("--governor", choices=GOVERNOR_MODES, default=None,
+                        help="SLO quality governor: 'off' serves every "
+                             "session at its native tier, 'static' pins "
+                             "each workload's min_quality_tier, 'adaptive' "
+                             "degrades/recovers on observed frame latency "
+                             "(default off; 'frontier' sweeps all modes "
+                             "unless one is forced here)")
+    shared.add_argument("--slo", type=float, default=None, metavar="FPS",
+                        help="override every workload's SLO frame rate "
+                             "(default: each spec's slo_fps, falling back "
+                             "to its fps_target)")
+    serve.add_argument("--ray-budget", type=int, default=None,
+                       help="cap on rays served per engine round; with "
+                            "--governor the budget is split into "
+                            "per-session shares by SLO pressure "
+                            "(default: unbounded)")
+    frontier = parser.add_argument_group(
+        "frontier options", "only used with the 'frontier' command")
+    frontier.add_argument("--rates", metavar="R1,R2,...", default=None,
+                          help="comma-separated offered arrival rates "
+                               "(sessions/s) to sweep (default 8,24,72; "
+                               "need >= 3 points for a frontier)")
     cluster = parser.add_argument_group(
         "cluster options", "only used with the 'cluster' command")
     cluster.add_argument("--arrivals", choices=ARRIVAL_KINDS,
-                         default="poisson",
-                         help="arrival process (default poisson)")
+                         default=None,
+                         help="arrival process (default poisson; defaults "
+                              "late so 'frontier' can reject explicit "
+                              "use — its sweep fixes poisson)")
     cluster.add_argument("--rate", type=float, default=None,
                          help="arrival rate in sessions/s; peak rate for "
                               "diurnal (default 1.0; not valid with "
@@ -116,8 +146,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="initial SoC worker count (default 4)")
     cluster.add_argument("--placement",
                          choices=tuple(sorted(PLACEMENTS)),
-                         default="least_loaded",
-                         help="placement policy (default least_loaded; "
+                         default=None,
+                         help="placement policy, also honoured by "
+                              "'frontier' (default least_loaded; "
                               "cache_affinity co-locates sessions sharing "
                               "content on one worker's reference cache)")
     cluster.add_argument("--queue-limit", type=int, default=4,
@@ -162,7 +193,14 @@ def run_serve(args, config) -> int:
     if args.frames is not None and args.frames < 1:
         print("serve: --frames must be >= 1", file=sys.stderr)
         return 2
+    if args.slo is not None and args.slo <= 0:
+        print("serve: --slo must be > 0", file=sys.stderr)
+        return 2
+    if args.ray_budget is not None and args.ray_budget < 1:
+        print("serve: --ray-budget must be >= 1", file=sys.stderr)
+        return 2
     scheduler = args.scheduler or "round_robin"
+    governor = args.governor or "off"
     mix = None
     if args.workloads:
         if args.scenes or args.algorithm is not None \
@@ -199,13 +237,21 @@ def run_serve(args, config) -> int:
     if mix is not None:
         rows, summary = serve_experiment(
             config, scheduler=scheduler, frames=args.frames,
-            workloads=mix, use_cache=not args.no_cache, seed=args.seed)
+            workloads=mix, use_cache=not args.no_cache, seed=args.seed,
+            governor=governor, slo_fps=args.slo,
+            ray_budget=args.ray_budget)
     else:
+        if governor != "off":
+            print("serve: --governor needs --workload mixes (the legacy "
+                  "scene-cycling sessions carry no SLO fields)",
+                  file=sys.stderr)
+            return 2
         rows, summary = serve_experiment(
             config, sessions=sessions, scheduler=scheduler,
             variant=args.variant or "cicero", frames=args.frames,
             scene_names=scenes, algorithm=algorithm,
-            use_cache=not args.no_cache, seed=args.seed)
+            use_cache=not args.no_cache, seed=args.seed,
+            ray_budget=args.ray_budget)
     elapsed = time.time() - started
     print_table(rows, title=f"serve: {num_sessions} sessions "
                             f"({elapsed:.1f}s wall)")
@@ -228,10 +274,18 @@ def run_cluster_command(args, config) -> int:
     from .cluster import run_cluster
     if args.scenes or args.algorithm is not None \
             or args.variant is not None or args.sessions is not None \
-            or args.scheduler is not None:
+            or args.scheduler is not None or args.ray_budget is not None:
         print("cluster: --scene/--algorithm/--variant/--sessions/"
-              "--scheduler are serve-only options (use --workload "
-              "NAME[:N] to shape the arrival mix)", file=sys.stderr)
+              "--scheduler/--ray-budget are serve-only options (use "
+              "--workload NAME[:N] to shape the arrival mix)",
+              file=sys.stderr)
+        return 2
+    if args.rates is not None:
+        print("cluster: --rates is a frontier-only option (use --rate "
+              "for a single arrival rate)", file=sys.stderr)
+        return 2
+    if args.slo is not None and args.slo <= 0:
+        print("cluster: --slo must be > 0", file=sys.stderr)
         return 2
     if args.rate is not None and args.rate <= 0 \
             or args.duration is not None and args.duration <= 0:
@@ -245,13 +299,14 @@ def run_cluster_command(args, config) -> int:
     if args.frames is not None and args.frames < 1:
         print("cluster: --frames must be >= 1", file=sys.stderr)
         return 2
-    if (args.arrivals == "replay") != (args.trace is not None):
+    arrivals = args.arrivals or "poisson"
+    if (arrivals == "replay") != (args.trace is not None):
         print("cluster: --trace is required for (and only valid with) "
               "--arrivals replay", file=sys.stderr)
         return 2
-    if args.arrivals == "replay" and (args.workloads or args.rate
-                                      is not None or args.duration
-                                      is not None):
+    if arrivals == "replay" and (args.workloads or args.rate
+                                 is not None or args.duration
+                                 is not None):
         print("cluster: --workload/--rate/--duration do not apply to "
               "--arrivals replay (the trace fixes every arrival)",
               file=sys.stderr)
@@ -280,13 +335,16 @@ def run_cluster_command(args, config) -> int:
     started = time.time()
     try:
         rows, summary = run_cluster(
-            config, mix=mix, arrivals=args.arrivals,
+            config, mix=mix, arrivals=arrivals,
             workers=args.workers,
-            placement=args.placement, queue_limit=args.queue_limit,
+            placement=args.placement or "least_loaded",
+            queue_limit=args.queue_limit,
             frames=args.frames, seed=args.seed, trace=args.trace,
             use_cache=not args.no_cache,
             autoscale=args.autoscale, min_workers=args.min_workers,
-            max_workers=args.max_workers, **overrides)
+            max_workers=args.max_workers,
+            governor=args.governor or "off", slo_fps=args.slo,
+            **overrides)
     except (ValueError, KeyError, OSError) as exc:
         # ValueError/KeyError carry a crafted message in args[0];
         # OSError's args[0] is the bare errno, so stringify the whole
@@ -298,15 +356,97 @@ def run_cluster_command(args, config) -> int:
     elapsed = time.time() - started
     print_table(rows, title=f"cluster: {len(rows)} workers "
                             f"({elapsed:.1f}s wall)")
+    nested = ("scale_events", "governor_events", "psnr_per_workload")
     print_table([{k: v for k, v in summary.items()
-                  if k != "scale_events"}], title="aggregate")
+                  if k not in nested}], title="aggregate")
+    if summary.get("psnr_per_workload"):
+        print_table([{"workload": name, "mean_psnr_db": psnr}
+                     for name, psnr in
+                     sorted(summary["psnr_per_workload"].items())],
+                    title="served quality (probe PSNR)")
     if summary.get("scale_events"):
         print_table(summary["scale_events"], title="autoscaler timeline")
+    events = summary.get("governor_events") or []
+    if events:
+        print_table(events[:30],
+                    title=f"governor timeline (first 30 of {len(events)})")
     # Cluster runs are run-table experiments (muBench-style): every run
     # persists its machine-readable report, defaulting next to the other
     # bench artifacts when --json-out is not given.
     json_dir = "bench-artifacts" if args.json_out is None else args.json_out
     path = write_bench_json(json_dir, CLUSTER_COMMAND, rows, elapsed,
+                            config=config, extra=summary)
+    print(f"\nwrote {path}")
+    return 0
+
+
+def run_frontier_command(args, config) -> int:
+    from .frontier import run_frontier
+    if args.scenes or args.algorithm is not None \
+            or args.variant is not None or args.sessions is not None \
+            or args.scheduler is not None or args.ray_budget is not None:
+        print("frontier: --scene/--algorithm/--variant/--sessions/"
+              "--scheduler/--ray-budget are serve-only options",
+              file=sys.stderr)
+        return 2
+    if args.trace is not None or args.autoscale \
+            or args.min_workers is not None or args.max_workers is not None \
+            or args.scale_up_latency is not None or args.rate is not None \
+            or args.arrivals is not None:
+        print("frontier: --rate/--arrivals/--trace/--autoscale options do "
+              "not apply (the sweep fixes poisson arrivals; use --rates "
+              "for the load points)", file=sys.stderr)
+        return 2
+    if args.slo is not None and args.slo <= 0:
+        print("frontier: --slo must be > 0", file=sys.stderr)
+        return 2
+    if args.frames is not None and args.frames < 1:
+        print("frontier: --frames must be >= 1", file=sys.stderr)
+        return 2
+    rates = None
+    if args.rates is not None:
+        try:
+            rates = tuple(float(part) for part in args.rates.split(",")
+                          if part.strip())
+        except ValueError:
+            print(f"frontier: bad --rates {args.rates!r}; expected "
+                  "comma-separated numbers", file=sys.stderr)
+            return 2
+        if len(rates) < 3 or any(r <= 0 for r in rates):
+            print("frontier: --rates needs >= 3 positive load points",
+                  file=sys.stderr)
+            return 2
+    mix = None
+    if args.workloads:
+        try:
+            mix = parse_mix(args.workloads)
+        except (KeyError, ValueError) as exc:
+            print(f"frontier: {exc.args[0]}", file=sys.stderr)
+            return 2
+    # --governor restricts the sweep to one mode (default: all three).
+    modes = GOVERNOR_MODES if args.governor is None else (args.governor,)
+    kwargs = {
+        key: value for key, value in (
+            ("rates", rates),
+            ("duration_s", args.duration),
+            ("frames", args.frames),
+        ) if value is not None}
+    started = time.time()
+    try:
+        rows, summary = run_frontier(
+            config, mix=mix, workers=args.workers,
+            placement=args.placement or "least_loaded",
+            queue_limit=args.queue_limit, seed=args.seed, modes=modes,
+            slo_fps=args.slo, use_cache=not args.no_cache, **kwargs)
+    except (ValueError, KeyError) as exc:
+        print(f"frontier: {exc.args[0]}", file=sys.stderr)
+        return 2
+    elapsed = time.time() - started
+    print_table(rows, title=f"frontier: {len(rows)} cells "
+                            f"({elapsed:.1f}s wall)")
+    print_table([summary], title="sweep")
+    json_dir = "bench-artifacts" if args.json_out is None else args.json_out
+    path = write_bench_json(json_dir, FRONTIER_COMMAND, rows, elapsed,
                             config=config, extra=summary)
     print(f"\nwrote {path}")
     return 0
@@ -328,6 +468,7 @@ def main(argv=None) -> int:
         for name in sorted(EXPERIMENTS):
             print(name)
         print(CLUSTER_COMMAND)
+        print(FRONTIER_COMMAND)
         print(SERVE_COMMAND)
         print(WORKLOADS_COMMAND)
         return 0
@@ -337,6 +478,8 @@ def main(argv=None) -> int:
         return run_serve(args, config)
     if args.figure == CLUSTER_COMMAND:
         return run_cluster_command(args, config)
+    if args.figure == FRONTIER_COMMAND:
+        return run_frontier_command(args, config)
     if args.figure == "all":
         for name in sorted(EXPERIMENTS):
             run_figure(name, config, json_dir=args.json_out)
@@ -344,7 +487,8 @@ def main(argv=None) -> int:
     if args.figure not in EXPERIMENTS:
         known = ", ".join(sorted(EXPERIMENTS))
         print(f"unknown figure {args.figure!r}; expected one of: {known}, "
-              f"all, serve, cluster, workloads, list", file=sys.stderr)
+              f"all, serve, cluster, frontier, workloads, list",
+              file=sys.stderr)
         return 2
     run_figure(args.figure, config, json_dir=args.json_out)
     return 0

@@ -12,10 +12,10 @@ harness experiment returns — rows per worker, summary for
 from __future__ import annotations
 
 from ..cluster import Autoscaler, simulate_cluster
-from ..workloads import parse_mix
+from ..workloads import apply_slo
 from .configs import DEFAULT, ExperimentConfig
 
-__all__ = ["DEFAULT_CLUSTER_MIX", "run_cluster"]
+__all__ = ["DEFAULT_CLUSTER_MIX", "run_cluster", "quality_summary"]
 
 # Popularity-skewed default: over half the arrivals share the vr-lego
 # cache key, so co-locating them (cache_affinity) visibly beats spreading
@@ -31,7 +31,9 @@ def run_cluster(config: ExperimentConfig = DEFAULT, mix=None,
                 use_cache: bool = True,
                 autoscale: bool = False, min_workers: int | None = None,
                 max_workers: int | None = None,
-                scale_up_latency_s: float = 1.0) -> tuple:
+                scale_up_latency_s: float = 1.0,
+                governor: str = "off",
+                slo_fps: float | None = None) -> tuple:
     """Simulate open-loop cluster serving; returns (per-worker rows, summary).
 
     ``mix`` is any serve mix (``None`` uses :data:`DEFAULT_CLUSTER_MIX`);
@@ -40,9 +42,13 @@ def run_cluster(config: ExperimentConfig = DEFAULT, mix=None,
     ``autoscale`` the fleet starts at ``workers`` and moves between
     ``min_workers`` (default 1) and ``max_workers`` (default 2x the
     initial fleet) with ``scale_up_latency_s`` of provisioning delay.
-    Runs are deterministic per seed.
+    ``governor`` attaches the SLO quality governor (``static`` or
+    ``adaptive``; ``slo_fps`` overrides every spec's SLO), adding probe
+    mean-PSNR quality accounting to the summary.  Runs are deterministic
+    per seed.
     """
-    resolved_mix = parse_mix(mix if mix is not None else DEFAULT_CLUSTER_MIX)
+    resolved_mix = apply_slo(mix if mix is not None else DEFAULT_CLUSTER_MIX,
+                             slo_fps)
     autoscaler = None
     if autoscale:
         floor = 1 if min_workers is None else min_workers
@@ -67,7 +73,44 @@ def run_cluster(config: ExperimentConfig = DEFAULT, mix=None,
         resolved_mix, config, arrivals=arrivals, rate_hz=rate_hz,
         duration_s=duration_s, seed=seed, workers=workers,
         placement=placement, queue_limit=queue_limit, frames=frames,
-        autoscaler=autoscaler, use_cache=use_cache, trace=trace)
+        autoscaler=autoscaler, use_cache=use_cache, trace=trace,
+        governor=governor)
     summary = report.summary()
     summary["scale_events"] = report.scale_events
+    if governor != "off":
+        summary["governor_events"] = report.governor_events
+        summary.update(quality_summary(resolved_mix, config, report))
     return list(report.per_worker), summary
+
+
+def quality_summary(resolved_mix, config, report) -> dict:
+    """Probe-PSNR quality accounting of a governed cluster report.
+
+    ``mean_psnr`` is the frame-weighted mean probe PSNR over every served
+    frame (at the ladder rung it actually rendered at);
+    ``min_workload_psnr`` is the worst per-workload mean, and
+    ``quality_floor_ok`` asserts the governor's contract — every
+    workload's served mean stayed at or above the floor implied by its
+    ``min_quality_tier``.
+    """
+    from ..control import mean_psnr_of_levels, quality_floor
+    specs = {spec.name: spec for spec, _ in resolved_mix}
+    per_workload = {}
+    total = weighted = 0
+    floor_ok = True
+    for name, buckets in sorted(report.quality_by_level.items()):
+        spec = specs[name]
+        frames = sum(buckets.values())
+        if not frames:
+            continue
+        psnr = mean_psnr_of_levels(spec, config, buckets)
+        per_workload[name] = psnr
+        floor_ok &= psnr >= quality_floor(spec, config) - 1e-9
+        total += frames
+        weighted += psnr * frames
+    return {
+        "mean_psnr": weighted / total if total else 0.0,
+        "min_workload_psnr": min(per_workload.values(), default=0.0),
+        "quality_floor_ok": floor_ok,
+        "psnr_per_workload": per_workload,
+    }

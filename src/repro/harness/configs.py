@@ -113,6 +113,21 @@ def _config_key(config: ExperimentConfig) -> tuple:
     return dataclasses.astuple(config)
 
 
+def _field_config_key(config: ExperimentConfig) -> tuple:
+    """The config fields a baked field (and its occupancy) depends on.
+
+    Imaging parameters (``image_size``, ``samples_per_ray``, trajectory
+    and memory-system scales) do not enter the bake, so configs that
+    differ only in them — the quality-governor's degradation ladder —
+    share one baked field in the cache instead of re-baking per tier.
+    """
+    return (config.grid_resolution, config.hash_levels,
+            config.hash_finest_resolution, config.hash_table_size,
+            config.tensorf_resolution, config.tensorf_rank,
+            config.feature_dim, config.density_sharpness,
+            config.max_density)
+
+
 def _field_size(fld) -> int:
     return int(getattr(fld, "model_size_bytes", 0))
 
@@ -160,7 +175,7 @@ def _bake_field(algorithm: str, scene_name: str, config: ExperimentConfig):
 def build_field(algorithm: str, scene_name: str,
                 config: ExperimentConfig = DEFAULT):
     """Baked field for (algorithm, scene), from the bounded shared cache."""
-    key = ("field", algorithm, scene_name, _config_key(config))
+    key = ("field", algorithm, scene_name, _field_config_key(config))
     return FIELD_CACHE.get_or_build(
         key, lambda: _bake_field(algorithm, scene_name, config),
         size_of=_field_size)
@@ -185,9 +200,13 @@ def build_renderer(algorithm: str, scene_name: str,
     (previously an *unbounded* ``lru_cache``, which grew without limit
     under many-scene serving): while an entry is live, concurrent sessions
     of the same workload share one renderer instance, which also lets the
-    multi-session engine batch their ray work against one field.
+    multi-session engine batch their ray work against one field.  The key
+    carries only the field-relevant config subset plus the sampler depth,
+    so a quality-tier switch (smaller frames, shallower marching) resolves
+    to a cheap sampler around the *same* baked field — no re-bake.
     """
-    key = ("renderer", algorithm, scene_name, _config_key(config))
+    key = ("renderer", algorithm, scene_name, _field_config_key(config),
+           config.samples_per_ray)
 
     def _build() -> NeRFRenderer:
         field = build_field(algorithm, scene_name, config)

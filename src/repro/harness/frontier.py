@@ -1,0 +1,109 @@
+"""Quality-vs-throughput frontier sweep behind ``cli frontier``.
+
+Sweeps offered load (arrival rate) across the governor modes and reports,
+per (mode, rate) cell, what the cluster traded: admitted rate, tail frame
+latency, and frame-weighted mean probe PSNR.  ``off`` can only queue or
+reject, ``static`` buys throughput by pinning every workload at its
+minimum tier, and ``adaptive`` walks the frontier between them —
+degrading exactly when load demands it.  Every run shares one seed and
+mix, so cells differ only in the knob under study; the rows land in
+``BENCH_frontier.json``.
+"""
+
+from __future__ import annotations
+
+from ..cluster import simulate_cluster
+from ..control import GOVERNOR_MODES
+from ..workloads import apply_slo
+from .cluster import DEFAULT_CLUSTER_MIX, quality_summary
+from .configs import DEFAULT, ExperimentConfig
+
+__all__ = ["DEFAULT_FRONTIER_RATES", "run_frontier"]
+
+# Light / saturated / overloaded against the default small fleet: session
+# residency is frames/fps_target seconds, so tens of arrivals per second
+# are needed before admission queues fill at test scales.
+DEFAULT_FRONTIER_RATES = (8.0, 24.0, 72.0)
+
+
+def run_frontier(config: ExperimentConfig = DEFAULT, mix=None,
+                 rates=DEFAULT_FRONTIER_RATES, duration_s: float = 1.0,
+                 workers: int = 1, placement: str = "least_loaded",
+                 queue_limit: int = 2,
+                 frames: int | None = 3, seed: int = 0,
+                 modes=GOVERNOR_MODES,
+                 slo_fps: float | None = None,
+                 use_cache: bool = True) -> tuple:
+    """Sweep (governor mode x offered load); returns (rows, summary).
+
+    One row per cell: offered/admitted counts, reject rate, p99 frame
+    latency, mean quality level, and probe mean-PSNR.  The summary pairs
+    each mode's aggregate admitted rate with its mean PSNR — the frontier
+    the governor is supposed to bend.
+    """
+    rates = tuple(float(r) for r in rates)
+    if not rates or any(r <= 0 for r in rates):
+        raise ValueError("rates must be a non-empty tuple of positive "
+                         "arrival rates")
+    modes = tuple(modes)
+    for mode in modes:
+        if mode not in GOVERNOR_MODES:
+            raise ValueError(f"unknown governor mode {mode!r}; "
+                             f"one of {GOVERNOR_MODES}")
+    resolved_mix = apply_slo(mix if mix is not None else DEFAULT_CLUSTER_MIX,
+                             slo_fps)
+    rows = []
+    per_mode: dict = {}
+    for mode in modes:
+        for rate in rates:
+            report = simulate_cluster(
+                resolved_mix, config, arrivals="poisson", rate_hz=rate,
+                duration_s=duration_s, seed=seed, workers=workers,
+                placement=placement, queue_limit=queue_limit,
+                frames=frames, governor=mode, slo_fps=slo_fps,
+                use_cache=use_cache)
+            quality = quality_summary(resolved_mix, config, report)
+            offered = report.arrivals_total
+            row = {
+                "governor": mode,
+                "offered_rate_hz": rate,
+                "offered": offered,
+                "admitted": report.admitted,
+                "admitted_rate": (report.admitted / offered
+                                  if offered else 0.0),
+                "reject_rate": report.reject_rate,
+                "p99_latency_ms": report.p99_latency_s * 1e3,
+                "mean_latency_ms": report.mean_latency_s * 1e3,
+                "aggregate_fps": report.aggregate_fps,
+                "mean_quality_level": report.mean_quality_level,
+                "tier_transitions": report.tier_transitions,
+                "overflow_admissions": report.overflow_admissions,
+                "mean_psnr": quality["mean_psnr"],
+                "min_workload_psnr": quality["min_workload_psnr"],
+                "quality_floor_ok": quality["quality_floor_ok"],
+            }
+            rows.append(row)
+            bucket = per_mode.setdefault(mode, {"offered": 0, "admitted": 0,
+                                                "psnr_sum": 0.0, "cells": 0})
+            bucket["offered"] += offered
+            bucket["admitted"] += report.admitted
+            bucket["psnr_sum"] += quality["mean_psnr"]
+            bucket["cells"] += 1
+    summary = {
+        "mix": ",".join(f"{spec.name}:{count}"
+                        for spec, count in resolved_mix),
+        "rates_hz": list(rates),
+        "duration_s": duration_s,
+        "workers": workers,
+        "placement": placement,
+        "queue_limit": queue_limit,
+        "seed": seed,
+        "slo_fps": slo_fps,
+        "modes": list(modes),
+    }
+    for mode, bucket in per_mode.items():
+        offered = bucket["offered"]
+        summary[f"{mode}_admitted_rate"] = (bucket["admitted"] / offered
+                                            if offered else 0.0)
+        summary[f"{mode}_mean_psnr"] = bucket["psnr_sum"] / bucket["cells"]
+    return rows, summary

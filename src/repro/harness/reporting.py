@@ -13,8 +13,8 @@ import dataclasses
 import json
 from pathlib import Path
 
-__all__ = ["format_table", "print_table", "format_value",
-           "bench_payload", "write_bench_json"]
+__all__ = ["format_table", "print_table", "format_value", "jsonable",
+           "safe_json_dumps", "bench_payload", "write_bench_json"]
 
 
 def format_value(value, precision: int = 3) -> str:
@@ -64,23 +64,45 @@ def print_table(rows: list, columns: list | None = None,
                        precision=precision))
 
 
-def _jsonable(value):
-    """Coerce row values (incl. numpy scalars/arrays) to JSON-native types."""
+def jsonable(value):
+    """Coerce row values (incl. numpy scalars/arrays) to JSON-native types.
+
+    Non-finite floats become strings (``"inf"``/``"-inf"``/``"nan"``):
+    ``psnr`` legitimately returns ``inf`` for identical frames, and raw
+    ``json.dumps`` would emit the spec-violating ``Infinity`` literal
+    that strict parsers reject.
+    """
     if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
+        return {str(k): jsonable(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
+        return [jsonable(v) for v in value]
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return _jsonable(dataclasses.asdict(value))
+        return jsonable(dataclasses.asdict(value))
     if hasattr(value, "tolist"):  # numpy scalar or array
-        return _jsonable(value.tolist())
+        return jsonable(value.tolist())
     if isinstance(value, float):
-        # NaN/inf are not valid JSON; stringify so artifacts stay parseable.
-        if value != value or value in (float("inf"), float("-inf")):
+        if value != value:
+            return "nan"
+        if value in (float("inf"), float("-inf")):
             return str(value)
     if isinstance(value, (bool, int, float, str)) or value is None:
         return value
     return str(value)
+
+
+_jsonable = jsonable  # backwards-compatible private alias
+
+
+def safe_json_dumps(payload, **kwargs) -> str:
+    """Strictly valid JSON: sanitise, then *refuse* any non-finite leak.
+
+    Every bench artifact goes through this, so ``json.loads`` (and any
+    non-Python consumer) round-trips what we write.  ``allow_nan=False``
+    is the belt to :func:`jsonable`'s suspenders — if a new code path
+    ever smuggles a raw ``inf``/``nan`` past sanitisation, writing fails
+    loudly instead of producing a non-compliant artifact.
+    """
+    return json.dumps(jsonable(payload), allow_nan=False, **kwargs)
 
 
 def bench_payload(name: str, rows: list, wall_time_s: float,
@@ -107,5 +129,6 @@ def write_bench_json(directory, name: str, rows: list, wall_time_s: float,
     path = directory / f"BENCH_{name}.json"
     payload = bench_payload(name, rows, wall_time_s, config=config,
                             extra=extra)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    path.write_text(safe_json_dumps(payload, indent=2, sort_keys=True)
+                    + "\n")
     return path

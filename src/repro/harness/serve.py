@@ -18,9 +18,9 @@ from ..workloads import (
     FIELD_CACHE,
     REFERENCE_CACHE,
     WorkloadSpec,
+    apply_slo,
     build_mixed_sessions,
     cache_report,
-    parse_mix,
 )
 from .configs import DEFAULT, ExperimentConfig
 
@@ -72,7 +72,9 @@ def run_serve(config: ExperimentConfig = DEFAULT, sessions: int = 8,
               frames: int | None = None, scene_names: tuple = ("lego",),
               algorithm: str = "directvoxgo",
               workloads=None, use_cache: bool = True,
-              seed: int | None = None) -> tuple:
+              seed: int | None = None, governor: str = "off",
+              slo_fps: float | None = None,
+              ray_budget: int | None = None) -> tuple:
     """Serve concurrent users; returns (per-session rows, summary).
 
     ``workloads`` selects a named mix (``"vr-lego:3,dolly-chair"``, a list
@@ -86,22 +88,46 @@ def run_serve(config: ExperimentConfig = DEFAULT, sessions: int = 8,
     cross-run reuse.  ``seed`` offsets every spec's trajectory seed (the
     CLI's ``--seed``) so stochastic trajectories resample reproducibly.
 
+    ``governor`` attaches the engine-layer SLO quality governor
+    (``static``/``adaptive``; ``slo_fps`` overrides every workload's SLO)
+    and, together with ``ray_budget``, splits the per-round ray budget by
+    the governor's weights so lagging sessions pull a larger share.
+
     The scheduler choice also picks the matching within-round service
     order for the latency simulation: round-robin serves in arrival order,
     deadline serves shortest-job-first to shave the tail.
     """
     if workloads is not None:
-        mix = parse_mix(workloads)
+        mix = workloads
     else:
         mix = legacy_mix(sessions, scene_names=scene_names,
                          algorithm=algorithm)
+    # One SLO source: rewrite the specs, then everything (governor
+    # included) reads spec.slo_latency_s.
+    mix = apply_slo(mix, slo_fps)
     field_before = FIELD_CACHE.stats.snapshot()
     reference_before = REFERENCE_CACHE.stats.snapshot()
 
-    built = build_mixed_sessions(mix, config, frames=frames, seed=seed)
+    engine_governor = None
+    build = None
+    if governor != "off":
+        from ..control import EngineGovernor, build_level_session
+        engine_governor = EngineGovernor(
+            config, mode=governor,
+            soc=SoCModel(feature_dim=config.feature_dim))
+        if governor == "static":
+            # Static pinning happens at build time, so even the first
+            # frame renders at the min_quality_tier rung.
+            def build(spec, session_id, config):
+                return build_level_session(spec, session_id, config,
+                                           spec.max_quality_level)
+    built = build_mixed_sessions(mix, config, frames=frames, seed=seed,
+                                 build=build)
     engine = MultiSessionEngine(
         built, scheduler=make_scheduler(scheduler),
-        reference_cache=REFERENCE_CACHE if use_cache else None)
+        ray_budget=ray_budget,
+        reference_cache=REFERENCE_CACHE if use_cache else None,
+        governor=engine_governor)
     result = engine.run()
 
     # Per-session variants: each spec prices under its own SoC variant
@@ -123,7 +149,7 @@ def run_serve(config: ExperimentConfig = DEFAULT, sessions: int = 8,
 
     rows = []
     for session, stats in zip(result.sessions, report.per_session):
-        rows.append({
+        row = {
             "session": stats.session_id,
             "frames": stats.frames,
             "references": stats.references,
@@ -132,7 +158,10 @@ def run_serve(config: ExperimentConfig = DEFAULT, sessions: int = 8,
             "utilization": stats.utilization,
             "mean_latency_ms": stats.mean_latency_s * 1e3,
             "p95_latency_ms": stats.p95_latency_s * 1e3,
-        })
+        }
+        if engine_governor is not None:
+            row["quality_level"] = session.quality_level
+        rows.append(row)
     batch = result.batch
     ref_cache = report.cache["references"]
     variants_used = sorted({session_variants.get(s.session_id, variant)
@@ -162,4 +191,7 @@ def run_serve(config: ExperimentConfig = DEFAULT, sessions: int = 8,
         "ref_cache_evictions": ref_cache["evictions"],
         "cache": report.cache,
     }
+    if engine_governor is not None:
+        summary.update(engine_governor.summary())
+        summary["ray_budget"] = ray_budget
     return rows, summary

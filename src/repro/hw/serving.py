@@ -18,8 +18,8 @@ from ..metrics.stats import percentile_or_zero
 from .soc import SoCModel
 from .workload import workload_from_stats
 
-__all__ = ["SessionServingStats", "ServingReport", "price_session_frames",
-           "aggregate_serving"]
+__all__ = ["SessionServingStats", "ServingReport", "price_frame_record",
+           "price_session_frames", "aggregate_serving"]
 
 
 @dataclass
@@ -73,25 +73,30 @@ class ServingReport:
     cache: dict | None = None
 
 
+def price_frame_record(record, soc: SoCModel, variant: str = "cicero"
+                       ) -> float:
+    """SoC time (seconds) of one recorded SPARW target frame.
+
+    The frame is priced from its recorded sparse-NeRF stats and warp
+    work; a frame that rendered a new reference additionally pays the
+    full-frame render (local rendering serialises the two paths on the
+    shared SoC).  This is the per-frame cost signal the quality governor
+    closes its latency loop on.
+    """
+    target = workload_from_stats(record.sparse_stats,
+                                 warp_points=record.warp_points)
+    cost = soc.price_nerf(target, variant).time_s
+    if record.reference_stats is not None:
+        reference = workload_from_stats(record.reference_stats)
+        cost += soc.price_nerf(reference, variant).time_s
+    return cost
+
+
 def price_session_frames(result, soc: SoCModel, variant: str = "cicero"
                          ) -> list:
-    """Per-frame SoC time of one SPARW sequence result (seconds).
-
-    Each target frame is priced from its recorded sparse-NeRF stats and
-    warp work; frames that rendered a new reference additionally pay the
-    full-frame render (local rendering serialises the two paths on the
-    shared SoC).
-    """
-    times = []
-    for record in result.records:
-        target = workload_from_stats(record.sparse_stats,
-                                     warp_points=record.warp_points)
-        cost = soc.price_nerf(target, variant).time_s
-        if record.reference_stats is not None:
-            reference = workload_from_stats(record.reference_stats)
-            cost += soc.price_nerf(reference, variant).time_s
-        times.append(cost)
-    return times
+    """Per-frame SoC time of one SPARW sequence result (seconds)."""
+    return [price_frame_record(record, soc, variant)
+            for record in result.records]
 
 
 def aggregate_serving(session_results: dict, soc: SoCModel | None = None,

@@ -23,13 +23,14 @@ from .cache import (
 )
 from .registry import (
     WORKLOADS,
+    apply_slo,
     build_mixed_sessions,
     get_workload,
     list_workloads,
     parse_mix,
     register_workload,
 )
-from .spec import TIERS, WorkloadSpec
+from .spec import QUALITY_LEVELS, TIERS, WorkloadSpec
 
 __all__ = [
     "FIELD_CACHE",
@@ -40,11 +41,13 @@ __all__ = [
     "pose_hash",
     "reset_caches",
     "WORKLOADS",
+    "apply_slo",
     "build_mixed_sessions",
     "get_workload",
     "list_workloads",
     "parse_mix",
     "register_workload",
+    "QUALITY_LEVELS",
     "TIERS",
     "WorkloadSpec",
 ]

@@ -14,7 +14,7 @@ from .spec import WorkloadSpec
 
 __all__ = [
     "WORKLOADS", "register_workload", "get_workload", "list_workloads",
-    "parse_mix", "build_mixed_sessions",
+    "parse_mix", "apply_slo", "build_mixed_sessions",
 ]
 
 
@@ -93,8 +93,26 @@ def parse_mix(mix) -> list:
     return list(merged.items())
 
 
+def apply_slo(mix, slo_fps: float | None) -> list:
+    """Resolve a mix and override every spec's ``slo_fps`` (the CLI's
+    ``--slo``).
+
+    ``None`` leaves the specs' own SLOs untouched.  Returns the usual
+    ``[(spec, count), ...]`` pairs, so the result feeds straight into
+    :func:`build_mixed_sessions` or the cluster arrival samplers.
+    """
+    import dataclasses
+    resolved = parse_mix(mix)
+    if slo_fps is None:
+        return resolved
+    if slo_fps <= 0.0:
+        raise ValueError("slo_fps must be positive")
+    return [(dataclasses.replace(spec, slo_fps=float(slo_fps)), count)
+            for spec, count in resolved]
+
+
 def build_mixed_sessions(mix, config, frames: int | None = None,
-                         seed: int | None = None) -> list:
+                         seed: int | None = None, build=None) -> list:
     """Engine sessions for a workload mix at a config scale.
 
     Copies of one spec are *identical* sessions (same trajectory, same
@@ -105,13 +123,20 @@ def build_mixed_sessions(mix, config, frames: int | None = None,
     stochastic trajectories resample reproducibly run to run; copies of a
     spec still share one derived seed and keep coalescing.  ``None``
     leaves the specs' own seeds untouched.
+
+    ``build(spec, session_id, config)`` overrides session construction
+    (default :meth:`WorkloadSpec.build_session`) — the static quality
+    governor uses it to build sessions already pinned at their
+    ``min_quality_tier`` rung.
     """
+    if build is None:
+        def build(spec, session_id, config):
+            return spec.build_session(session_id, config)
     sessions = []
     for spec, count in parse_mix(mix):
         spec = spec.with_overrides(frames=frames, seed_offset=seed)
         for i in range(count):
-            sessions.append(
-                spec.build_session(f"{spec.name}-{i:02d}", config))
+            sessions.append(build(spec, f"{spec.name}-{i:02d}", config))
     return sessions
 
 
@@ -121,11 +146,15 @@ def _register_builtins() -> None:
         # The canonical VR viewing session of the paper's evaluation.
         WorkloadSpec.make("vr-lego", scene="lego", trajectory="orbit"),
         # Rotation-dominated head motion: high overlap, HMD-style deltas.
+        # VR tolerates resolution loss badly, so it may only shed one rung.
         WorkloadSpec.make("vr-headshake", scene="lego",
-                          trajectory="headshake", yaw_amplitude_deg=4.0),
+                          trajectory="headshake", yaw_amplitude_deg=4.0,
+                          min_quality_tier="reduced"),
         # Push-in with growing parallax; disocclusion at silhouettes.
+        # Cinematic dolly: a looser SLO than its request rate.
         WorkloadSpec.make("dolly-chair", scene="chair", trajectory="dolly",
-                          start_distance=4.0, end_distance=2.4),
+                          start_distance=4.0, end_distance=2.4,
+                          slo_fps=24.0),
         # Seeded exploration of a specular-heavy scene.
         WorkloadSpec.make("walk-materials", scene="materials",
                           trajectory="random_walk", seed=7),
@@ -138,9 +167,11 @@ def _register_builtins() -> None:
         WorkloadSpec.make("preview-ship", scene="ship", trajectory="orbit",
                           tier="preview"),
         # Sparse-capture real-world stand-in (1 FPS-style pose deltas).
+        # Archival capture review: quality is the point, never degrade.
         WorkloadSpec.make("sparse-ignatius", scene="ignatius",
                           trajectory="orbit", window=6,
-                          degrees_per_frame=15.0),
+                          degrees_per_frame=15.0,
+                          min_quality_tier="full"),
     ]
     for spec in builtins:
         register_workload(spec, replace=True)

@@ -25,12 +25,19 @@ from ..scenes.trajectory import (
     trajectory_parameters,
 )
 
-__all__ = ["WorkloadSpec", "TIERS"]
+__all__ = ["WorkloadSpec", "TIERS", "QUALITY_LEVELS"]
 
 # Resolution/quality tiers.  "inherit" uses whatever config scale the
 # harness is running at (--fast or default); the named tiers force a scale
 # or derive a cheaper one, letting one serve mix heterogeneous qualities.
 TIERS = ("inherit", "default", "fast", "preview")
+
+# Degradation ladder the SLO governor moves sessions along, *relative to
+# the spec's own tier*: "full" is the spec's native quality, each step
+# down halves resolution and ray-march depth.  ``min_quality_tier`` names
+# the lowest rung a governor may push this workload to ("full" forbids
+# any degradation).
+QUALITY_LEVELS = ("full", "reduced", "minimal")
 
 
 @dataclass(frozen=True)
@@ -54,6 +61,14 @@ class WorkloadSpec:
     tier: str = "inherit"
     fps_target: float = 30.0
     seed: int = 0
+    # Service-level objective: the frame rate the workload must sustain
+    # before a governor starts trading quality for latency.  ``None``
+    # falls back to ``fps_target`` (the rate the viewer requests frames
+    # at), letting specs declare a looser SLO than their request rate.
+    slo_fps: float | None = None
+    # Lowest :data:`QUALITY_LEVELS` rung a governor may degrade this
+    # workload to; "full" pins the spec at native quality forever.
+    min_quality_tier: str = "minimal"
 
     @classmethod
     def make(cls, name: str, **kwargs) -> "WorkloadSpec":
@@ -86,6 +101,12 @@ class WorkloadSpec:
                     f"known parameters: {sorted(accepted)}")
         if self.tier not in TIERS:
             raise ValueError(f"unknown tier {self.tier!r}; one of: {TIERS}")
+        if self.min_quality_tier not in QUALITY_LEVELS:
+            raise ValueError(
+                f"unknown min_quality_tier {self.min_quality_tier!r}; "
+                f"one of: {QUALITY_LEVELS}")
+        if self.slo_fps is not None and self.slo_fps <= 0.0:
+            raise ValueError("slo_fps must be positive (or None)")
 
     def with_overrides(self, frames: int | None = None,
                        seed_offset: int | None = None) -> "WorkloadSpec":
@@ -105,6 +126,23 @@ class WorkloadSpec:
         if seed_offset:
             changes["seed"] = self.seed + int(seed_offset)
         return dataclasses.replace(self, **changes) if changes else self
+
+    # -- service-level objective --------------------------------------------------
+
+    @property
+    def effective_slo_fps(self) -> float:
+        """The frame rate the SLO holds this workload to."""
+        return self.fps_target if self.slo_fps is None else self.slo_fps
+
+    @property
+    def slo_latency_s(self) -> float:
+        """Per-frame latency budget implied by the SLO frame rate."""
+        return 1.0 / self.effective_slo_fps
+
+    @property
+    def max_quality_level(self) -> int:
+        """Deepest :data:`QUALITY_LEVELS` index a governor may reach."""
+        return QUALITY_LEVELS.index(self.min_quality_tier)
 
     # -- identity ---------------------------------------------------------------
 
@@ -211,4 +249,6 @@ class WorkloadSpec:
             "window": self.window if self.window is not None else "config",
             "frames": self.frames if self.frames is not None else "config",
             "policy": self.policy,
+            "slo_fps": self.effective_slo_fps,
+            "min_tier": self.min_quality_tier,
         }

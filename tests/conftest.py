@@ -6,6 +6,10 @@ the whole suite reuses one set of baked artefacts.
 
 from __future__ import annotations
 
+import hashlib
+import json
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -13,6 +17,79 @@ from repro.geometry import Intrinsics, PinholeCamera, look_at
 from repro.harness.configs import FAST, build_renderer, ground_truth_sequence
 from repro.nerf import NeRFRenderer, OccupancyGrid, UniformSampler, VoxelGridField
 from repro.scenes import RayTracer, get_scene
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="regenerate the tests/golden/data digests instead of "
+             "comparing against them")
+
+
+# -- golden-regression helpers (tests/golden) ---------------------------------
+#
+# A golden is a small checked-in JSON document of digests (frame-byte
+# hashes + key stats) for one deterministic run; tests build the same
+# payload live and must match bit for bit.  Regenerate after an
+# intentional change with `python -m pytest tests/golden --update-goldens`.
+# The helpers live here (not in a tests/golden/conftest.py) because the
+# benchmarks suite imports its own sibling `conftest` by bare module
+# name, which a second nested conftest module would shadow.
+
+GOLDEN_DATA_DIR = Path(__file__).parent / "golden" / "data"
+
+
+def _frames_digest(frames) -> str:
+    """SHA-256 over the exact image+depth bytes of a frame sequence."""
+    digest = hashlib.sha256()
+    for frame in frames:
+        for plane in (frame.image, frame.depth):
+            digest.update(np.ascontiguousarray(
+                np.asarray(plane, dtype=np.float64)).tobytes())
+    return digest.hexdigest()
+
+
+def _stats_digest(payload) -> str:
+    """SHA-256 of a JSON-able stats object (floats kept at full repr)."""
+    from repro.harness.reporting import jsonable
+    canonical = json.dumps(jsonable(payload), sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@pytest.fixture(name="frames_digest")
+def frames_digest_fixture():
+    return _frames_digest
+
+
+@pytest.fixture(name="stats_digest")
+def stats_digest_fixture():
+    return _stats_digest
+
+
+@pytest.fixture
+def golden(request):
+    """``golden(name, payload)``: compare against (or update) a digest file."""
+    update = request.config.getoption("--update-goldens")
+
+    def check(name: str, payload: dict) -> None:
+        path = GOLDEN_DATA_DIR / f"{name}.json"
+        if update:
+            GOLDEN_DATA_DIR.mkdir(exist_ok=True)
+            path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                            + "\n")
+            return
+        assert path.exists(), (
+            f"missing golden {path.name}; generate it with "
+            f"'python -m pytest tests/golden --update-goldens'")
+        expected = json.loads(path.read_text())
+        assert payload == expected, (
+            f"golden {name!r} drifted from {path}.\n"
+            f"expected: {expected}\n"
+            f"got:      {payload}\n"
+            "If the change is intentional, regenerate with "
+            "'python -m pytest tests/golden --update-goldens'.")
+
+    return check
 
 
 @pytest.fixture(scope="session")

@@ -171,3 +171,93 @@ class TestWorkloads:
         assert main(["serve", "--fast", "--workload", "vr-lego",
                      "--sessions", "20"]) == 2
         assert "--sessions" in capsys.readouterr().err
+
+
+class TestGovernorCli:
+    def test_list_includes_frontier(self, capsys):
+        assert main(["list"]) == 0
+        assert "frontier" in capsys.readouterr().out
+
+    def test_serve_governor_requires_workload_mix(self, capsys):
+        assert main(["serve", "--fast", "--governor", "adaptive"]) == 2
+        assert "--workload" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_slo(self, capsys):
+        assert main(["serve", "--fast", "--workload", "vr-lego",
+                     "--slo", "0"]) == 2
+        assert "--slo" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_ray_budget(self, capsys):
+        assert main(["serve", "--fast", "--ray-budget", "0"]) == 2
+        assert "--ray-budget" in capsys.readouterr().err
+
+    def test_cluster_rejects_ray_budget(self, capsys):
+        assert main(["cluster", "--fast", "--ray-budget", "64"]) == 2
+        assert "serve-only" in capsys.readouterr().err
+
+    def test_cluster_rejects_rates(self, capsys):
+        assert main(["cluster", "--fast", "--rates", "1,2,3"]) == 2
+        assert "frontier-only" in capsys.readouterr().err
+
+    def test_frontier_rejects_two_load_points(self, capsys):
+        assert main(["frontier", "--fast", "--rates", "1,2"]) == 2
+        assert ">= 3" in capsys.readouterr().err
+
+    def test_frontier_rejects_malformed_rates(self, capsys):
+        assert main(["frontier", "--fast", "--rates", "a,b,c"]) == 2
+        assert "bad --rates" in capsys.readouterr().err
+
+    def test_frontier_rejects_serve_options(self, capsys):
+        assert main(["frontier", "--fast", "--sessions", "4"]) == 2
+        assert "serve-only" in capsys.readouterr().err
+
+    def test_governed_serve_reports_tier_state(self, capsys, tmp_path):
+        rc = main(["serve", "--fast", "--frames", "3",
+                   "--workload", "vr-lego:2", "--governor", "static",
+                   "--json-out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "quality_level" in out
+        payload = json.loads(
+            (tmp_path / "BENCH_serve_mixed.json").read_text())
+        assert payload["extra"]["governor"] == "static"
+        assert all(row["quality_level"] == 2 for row in payload["rows"])
+
+    def test_governed_cluster_reports_quality(self, capsys, tmp_path):
+        rc = main(["cluster", "--fast", "--governor", "adaptive",
+                   "--slo", "3000", "--rate", "30", "--duration", "0.5",
+                   "--workers", "1", "--queue-limit", "2",
+                   "--frames", "2", "--seed", "2",
+                   "--json-out", str(tmp_path)])
+        assert rc == 0
+        payload = json.loads(
+            (tmp_path / "BENCH_cluster.json").read_text())
+        extra = payload["extra"]
+        assert extra["governor"] == "adaptive"
+        assert extra["quality_floor_ok"] is True
+        assert extra["mean_psnr"] > 0.0
+
+    def test_frontier_rejects_explicit_arrivals(self, capsys):
+        assert main(["frontier", "--fast", "--arrivals", "diurnal"]) == 2
+        assert "--arrivals" in capsys.readouterr().err
+
+    def test_frontier_honours_placement(self):
+        from repro.harness import frontier as frontier_mod
+        seen = []
+        real = frontier_mod.simulate_cluster
+
+        def spy(*args, **kwargs):
+            seen.append(kwargs["placement"])
+            return real(*args, **kwargs)
+
+        frontier_mod.simulate_cluster = spy
+        try:
+            frontier_mod.run_frontier(
+                __import__("repro.harness.configs",
+                           fromlist=["FAST"]).FAST,
+                mix="vr-lego:1", rates=(5.0, 6.0, 7.0),
+                duration_s=0.2, frames=1, modes=("off",),
+                placement="cache_affinity")
+        finally:
+            frontier_mod.simulate_cluster = real
+        assert seen and all(p == "cache_affinity" for p in seen)

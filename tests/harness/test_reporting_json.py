@@ -3,9 +3,24 @@
 import json
 
 import numpy as np
+import pytest
 
 from repro.harness.configs import FAST
-from repro.harness.reporting import bench_payload, write_bench_json
+from repro.harness.reporting import (
+    bench_payload,
+    safe_json_dumps,
+    write_bench_json,
+)
+
+
+def _reject_constant(name):
+    raise AssertionError(f"non-compliant JSON constant {name!r} leaked "
+                         "into an artifact")
+
+
+def strict_loads(text: str):
+    """json.loads that refuses the Infinity/NaN extensions outright."""
+    return json.loads(text, parse_constant=_reject_constant)
 
 
 class TestBenchPayload:
@@ -32,6 +47,61 @@ class TestBenchPayload:
     def test_extra_section(self):
         payload = bench_payload("f", [], 0.0, extra={"fps": np.float32(3.0)})
         assert payload["extra"]["fps"] == 3.0
+
+
+class TestStrictJson:
+    """Every written artifact must round-trip through a strict parser.
+
+    ``psnr`` legitimately returns ``inf`` for identical frames; raw
+    ``json.dumps`` would emit the spec-violating ``Infinity`` literal.
+    """
+
+    NASTY_ROWS = [{
+        "psnr": float("inf"),
+        "neg": float("-inf"),
+        "miss_rate": float("nan"),
+        "np_inf": np.float64("inf"),
+        "np_nan": np.float32("nan"),
+        "nested": {"deep": [float("inf"), {"again": float("nan")}]},
+        "vec": np.array([1.0, float("inf")]),
+        "fine": 1.5,
+    }]
+
+    def test_safe_json_dumps_is_strictly_valid(self):
+        back = strict_loads(safe_json_dumps({"rows": self.NASTY_ROWS}))
+        row = back["rows"][0]
+        assert row["psnr"] == "inf"
+        assert row["neg"] == "-inf"
+        assert row["miss_rate"] == "nan"
+        assert row["np_inf"] == "inf"
+        assert row["np_nan"] == "nan"
+        assert row["nested"]["deep"] == ["inf", {"again": "nan"}]
+        assert row["vec"] == [1.0, "inf"]
+        assert row["fine"] == 1.5
+
+    def test_safe_json_dumps_refuses_raw_nonfinite(self):
+        # The allow_nan=False belt: a payload that somehow dodges the
+        # sanitiser (here: monkeyed post-sanitise object) must fail
+        # loudly rather than write a non-compliant artifact.
+        with pytest.raises(ValueError):
+            json.dumps({"v": float("inf")}, allow_nan=False)
+
+    def test_written_artifact_roundtrips_with_inf_psnr(self, tmp_path):
+        path = write_bench_json(tmp_path, "frontier", self.NASTY_ROWS, 0.1,
+                                config=FAST,
+                                extra={"mean_psnr": float("inf")})
+        payload = strict_loads(path.read_text())
+        assert payload["rows"][0]["psnr"] == "inf"
+        assert payload["extra"]["mean_psnr"] == "inf"
+
+    def test_every_payload_field_roundtrips(self, tmp_path):
+        # Full surface: rows + config + extra, parsed strictly.
+        path = write_bench_json(
+            tmp_path, "x", [{"a": np.arange(2), "b": {"c": FAST}}], 1.0,
+            config=FAST, extra={"events": [{"t": np.float64(0.5)}]})
+        payload = strict_loads(path.read_text())
+        assert payload["rows"][0]["a"] == [0, 1]
+        assert payload["extra"]["events"] == [{"t": 0.5}]
 
 
 class TestWriteBenchJson:
