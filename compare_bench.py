@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Diff two ``BENCH_perf.json`` artifacts and flag perf regressions.
+
+Thin launcher for :mod:`repro.perf.compare` that works from a clean
+checkout (adds ``src/`` to ``sys.path`` first)::
+
+    python compare_bench.py baseline/BENCH_perf.json new/BENCH_perf.json
+
+See ``docs/benchmarking.md`` for the workflow.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent / "src"))
+
+from repro.perf.compare import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

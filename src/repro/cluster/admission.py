@@ -27,14 +27,17 @@ class AdmissionStats:
 
     @property
     def rejected(self) -> int:
+        """Total rejections across every reason."""
         return sum(self.rejected_by_reason.values())
 
     @property
     def arrivals(self) -> int:
+        """Total admission decisions taken (admits + rejects)."""
         return self.admitted + self.rejected
 
     @property
     def reject_rate(self) -> float:
+        """Rejections per arrival (0.0 before any arrival)."""
         return self.rejected / self.arrivals if self.arrivals else 0.0
 
 
@@ -63,8 +66,10 @@ class AdmissionController:
         return open_workers, None
 
     def record_admit(self) -> None:
+        """Count one admitted session."""
         self.stats.admitted += 1
 
     def record_reject(self, reason: str) -> None:
+        """Count one rejection under ``reason`` (e.g. ``queue_full``)."""
         by_reason = self.stats.rejected_by_reason
         by_reason[reason] = by_reason.get(reason, 0) + 1

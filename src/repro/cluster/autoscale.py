@@ -90,4 +90,5 @@ class Autoscaler:
         return None
 
     def record_up_completed(self, now_s: float, live_count: int) -> None:
+        """Log that a provisioned worker finished booting and took load."""
         self.events.append(ScaleEvent(now_s, "up_completed", live_count))

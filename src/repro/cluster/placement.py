@@ -31,6 +31,7 @@ class RoundRobinPlacement:
         self._next = 0
 
     def choose(self, cache_key: str | None, workers: list):
+        """Cycle through the open workers in order."""
         worker = workers[self._next % len(workers)]
         self._next += 1
         return worker
@@ -42,6 +43,7 @@ class LeastLoadedPlacement:
     name = "least_loaded"
 
     def choose(self, cache_key: str | None, workers: list):
+        """Pick the worker with the fewest resident sessions (ties by id)."""
         return min(workers, key=lambda w: (w.load, w.worker_id))
 
 
@@ -61,6 +63,7 @@ class CacheAffinityPlacement:
         return hashlib.sha1(f"{cache_key}|{worker_id}".encode()).hexdigest()
 
     def choose(self, cache_key: str | None, workers: list):
+        """Rendezvous-hash the content key onto the live fleet."""
         if cache_key is None:  # nothing to be affine to
             return LeastLoadedPlacement().choose(cache_key, workers)
         return max(workers, key=lambda w: self._score(cache_key, w.worker_id))

@@ -49,6 +49,7 @@ class PlacedSession:
 
     @property
     def done(self) -> bool:
+        """True once every frame of the session has been served."""
         return self.next_frame >= len(self.frame_costs)
 
     def request_time(self, frame_index: int) -> float:
@@ -91,6 +92,7 @@ class Worker:
 
     @property
     def live(self) -> bool:
+        """True while the worker can take and serve sessions."""
         return self.retired_s is None
 
     @property
@@ -99,6 +101,7 @@ class Worker:
         return len(self.sessions)
 
     def retire(self, now_s: float) -> None:
+        """Take the (idle) worker out of the fleet at ``now_s``."""
         if self.sessions:
             raise RuntimeError(f"cannot retire {self.worker_id!r} with "
                                f"{self.load} resident sessions")

@@ -58,6 +58,7 @@ class ClusterGovernor:
 
     @property
     def mode(self) -> str:
+        """Governor mode ("static" or "adaptive")."""
         return self.governor.mode
 
     # -- admission ---------------------------------------------------------------
@@ -78,6 +79,7 @@ class ClusterGovernor:
         return min(max_level, int(pressure * (max_level + 1)))
 
     def register(self, session_id: str, spec, level: int) -> None:
+        """Start governing an admitted session at its admission level."""
         self.governor.register(session_id, spec.slo_latency_s,
                                spec.max_quality_level, level=level)
 

@@ -51,6 +51,7 @@ class EngineGovernor:
 
     @property
     def mode(self) -> str:
+        """Governor mode ("static" or "adaptive")."""
         return self.governor.mode
 
     # -- engine hooks ------------------------------------------------------------
@@ -108,6 +109,7 @@ class EngineGovernor:
     # -- reporting ---------------------------------------------------------------
 
     def summary(self) -> dict:
+        """Flat report row: mode, transitions, final per-session levels."""
         levels = {sid: c.level for sid, c in self.governor.sessions.items()}
         return {
             "governor": self.mode,

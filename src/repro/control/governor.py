@@ -113,6 +113,7 @@ class SessionControl:
 
     @property
     def mean_recent_latency_s(self) -> float:
+        """Mean of the recent-latency window (0.0 while empty)."""
         return sum(self.recent) / len(self.recent) if self.recent else 0.0
 
 
@@ -160,6 +161,7 @@ class QualityGovernor:
         return control
 
     def control(self, session_id: str) -> SessionControl:
+        """The session's control state; raises KeyError if never registered."""
         try:
             return self.sessions[session_id]
         except KeyError:
@@ -234,8 +236,10 @@ class QualityGovernor:
 
     @property
     def total_transitions(self) -> int:
+        """Tier moves taken across every governed session."""
         return sum(c.transitions for c in self.sessions.values())
 
     def level_of(self, session_id: str) -> int:
+        """Current quality level of a session (0 if unregistered)."""
         control = self.sessions.get(session_id)
         return control.level if control is not None else 0

@@ -22,6 +22,7 @@ import numpy as np
 
 from ...geometry.camera import PinholeCamera
 from ...nerf.renderer import NeRFRenderer, RenderStats
+from ...perf.timer import section
 from ...scenes.raytracer import Frame
 from .disocclusion import PixelClassification, classify_pixels, overlap_fraction
 from .reference import ExtrapolatedReferencePolicy, OnTrajectoryReferencePolicy
@@ -212,8 +213,10 @@ class SparwRenderer:
         """
         ref_camera = self.camera.with_pose(reference.c2w)
         target_camera = self.camera.with_pose(pose)
-        warp = warp_frame(reference, ref_camera, target_camera)
-        classification = classify_pixels(warp, self.angle_threshold_deg)
+        with section("sparw.warp"):
+            warp = warp_frame(reference, ref_camera, target_camera)
+        with section("sparw.classify"):
+            classification = classify_pixels(warp, self.angle_threshold_deg)
 
         pixel_ids = classification.rerender_pixel_ids()
         if pixel_ids.size:
@@ -230,8 +233,9 @@ class SparwRenderer:
             z = np.zeros(0)
             sparse_stats = RenderStats()
 
-        frame = self._assemble_target(warp, classification, target_camera,
-                                      pixel_ids, colors, z)
+        with section("sparw.assemble"):
+            frame = self._assemble_target(warp, classification, target_camera,
+                                          pixel_ids, colors, z)
         return frame, warp, classification, sparse_stats
 
     def _assemble_target(self, warp: WarpResult,

@@ -69,6 +69,11 @@ def _fill_pinholes(image: np.ndarray, depth: np.ndarray, covered: np.ndarray,
     """
     height, width = depth.shape
     pad_cov = np.pad(covered, 1)
+    # ``image`` is exactly 0.0 wherever ``covered`` is False (the warp
+    # zeroes uncovered pixels before calling), and the padded depth is
+    # masked the same way below, so the neighbour accumulation can add the
+    # shifted slices directly — summing exact zeros instead of re-masking
+    # with np.where per neighbour.  Bit-identical, 16 temporaries fewer.
     pad_img = np.pad(image, ((1, 1), (1, 1), (0, 0)))
     pad_depth = np.pad(np.where(covered, depth, 0.0), 1)
 
@@ -81,12 +86,10 @@ def _fill_pinholes(image: np.ndarray, depth: np.ndarray, covered: np.ndarray,
                 continue
             cov = pad_cov[1 + dy:1 + dy + height, 1 + dx:1 + dx + width]
             neighbor_count += cov
-            color_sum += np.where(
-                cov[..., None],
-                pad_img[1 + dy:1 + dy + height, 1 + dx:1 + dx + width], 0.0)
-            depth_sum += np.where(
-                cov, pad_depth[1 + dy:1 + dy + height, 1 + dx:1 + dx + width],
-                0.0)
+            color_sum += pad_img[1 + dy:1 + dy + height,
+                                 1 + dx:1 + dx + width]
+            depth_sum += pad_depth[1 + dy:1 + dy + height,
+                                   1 + dx:1 + dx + width]
 
     fill = ~covered & (neighbor_count >= min_neighbors)
     if fill.any():

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..perf.timer import section
 from ..workloads.cache import pose_hash
 from .scheduler import RoundRobinScheduler
 from .session import RenderSession
@@ -68,6 +69,7 @@ class BatchStats:
 
     @property
     def mean_batch_rays(self) -> float:
+        """Mean rays per batched field evaluation."""
         return self.total_rays / self.nerf_calls if self.nerf_calls else 0.0
 
 
@@ -82,6 +84,7 @@ class EngineResult:
                                  compare=False)
 
     def session(self, session_id: str) -> RenderSession:
+        """Look up a session by id; raises KeyError for unknown ids."""
         # Index built once on first lookup, so lookups are O(1) for
         # fleet-scale consumers instead of a linear scan per call.
         # Rebuilt when the sessions list is replaced (identity) or grows/
@@ -99,6 +102,7 @@ class EngineResult:
 
     @property
     def total_frames(self) -> int:
+        """Frames completed across every session."""
         return sum(s.frames_completed for s in self.sessions)
 
 
@@ -164,14 +168,15 @@ class MultiSessionEngine:
                 break
             ordered = self.scheduler.order(active, round_index)
             served = self._select(ordered)
-            if self.governor is None:
-                self._serve_round(served, stats)
-            else:
-                frames_before = [(s, s.result.num_frames) for s in served]
-                self._serve_round(served, stats)
-                for session, before in frames_before:
-                    for record in session.result.records[before:]:
-                        self.governor.observe_record(session, record)
+            with section("engine.round"):
+                if self.governor is None:
+                    self._serve_round(served, stats)
+                else:
+                    frames_before = [(s, s.result.num_frames) for s in served]
+                    self._serve_round(served, stats)
+                    for session, before in frames_before:
+                        for record in session.result.records[before:]:
+                            self.governor.observe_record(session, record)
             stats.rounds += 1
             round_index += 1
         return EngineResult(sessions=list(self.sessions), batch=stats)

@@ -23,6 +23,7 @@ class RoundRobinScheduler:
     name = "round_robin"
 
     def order(self, sessions: list, round_index: int) -> list:
+        """Rotate the session list by the round index (fair round-robin)."""
         if not sessions:
             return []
         start = round_index % len(sessions)
@@ -40,6 +41,7 @@ class DeadlineScheduler:
     name = "deadline"
 
     def order(self, sessions: list, round_index: int) -> list:
+        """Sort by next frame deadline (ties broken by session id)."""
         return sorted(sessions,
                       key=lambda s: (s.next_deadline, s.session_id))
 

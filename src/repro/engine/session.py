@@ -75,14 +75,17 @@ class RenderSession:
 
     @property
     def done(self) -> bool:
+        """True once the session's pose sequence is fully rendered."""
         return self._done
 
     @property
     def num_frames(self) -> int:
+        """Total frames this session will render."""
         return len(self.poses)
 
     @property
     def frames_completed(self) -> int:
+        """Frames rendered so far."""
         return self.result.num_frames
 
     @property

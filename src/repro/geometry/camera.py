@@ -16,6 +16,33 @@ from .transforms import invert_pose
 
 __all__ = ["Intrinsics", "PinholeCamera"]
 
+# Per-intrinsics camera-space direction lattice for full-frame ray
+# generation.  Intrinsics are frozen/hashable and a process normally uses
+# a handful (one per quality tier per image size); the memo saves a
+# meshgrid + stack per reference frame — a measured hot path (see
+# repro.perf).  Poses never enter the cache: the lattice is a pure
+# function of the intrinsics.  Bounded FIFO so a long-lived server
+# cycling many resolutions cannot grow it without limit.
+_DIR_GRID_CACHE: dict = {}
+_DIR_GRID_CACHE_MAX = 32
+
+
+def _camera_dir_grid(intrinsics: "Intrinsics") -> np.ndarray:
+    """Cached (H, W, 3) camera-space (unnormalised) pixel-centre directions."""
+    grid = _DIR_GRID_CACHE.get(intrinsics)
+    if grid is None:
+        us = np.arange(intrinsics.width, dtype=float) + 0.5
+        vs = np.arange(intrinsics.height, dtype=float) + 0.5
+        u, v = np.meshgrid(us, vs)
+        x = (u - intrinsics.cx) / intrinsics.fx
+        y = (v - intrinsics.cy) / intrinsics.fy
+        grid = np.stack([x, y, np.ones_like(x)], axis=-1)
+        grid.setflags(write=False)
+        while len(_DIR_GRID_CACHE) >= _DIR_GRID_CACHE_MAX:
+            _DIR_GRID_CACHE.pop(next(iter(_DIR_GRID_CACHE)))
+        _DIR_GRID_CACHE[intrinsics] = grid
+    return grid
+
 
 @dataclass(frozen=True)
 class Intrinsics:
@@ -108,6 +135,14 @@ class PinholeCamera:
         vs = np.arange(self.height, dtype=float) + 0.5
         return np.meshgrid(us, vs)
 
+    def _world_rays(self, dirs_cam: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Rotate camera-space directions into world space and normalise."""
+        rot = self.c2w[:3, :3]
+        dirs_world = dirs_cam @ rot.T
+        dirs_world = dirs_world / np.linalg.norm(dirs_world, axis=-1, keepdims=True)
+        origins = np.broadcast_to(self.position, dirs_world.shape).copy()
+        return origins, dirs_world
+
     def rays_for_pixels(self, u: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """World-space ray origins/directions for pixel coordinates.
 
@@ -118,16 +153,16 @@ class PinholeCamera:
         x = (np.asarray(u, dtype=float) - intr.cx) / intr.fx
         y = (np.asarray(v, dtype=float) - intr.cy) / intr.fy
         dirs_cam = np.stack([x, y, np.ones_like(x)], axis=-1)
-        rot = self.c2w[:3, :3]
-        dirs_world = dirs_cam @ rot.T
-        dirs_world = dirs_world / np.linalg.norm(dirs_world, axis=-1, keepdims=True)
-        origins = np.broadcast_to(self.position, dirs_world.shape).copy()
-        return origins, dirs_world
+        return self._world_rays(dirs_cam)
 
     def generate_rays(self) -> tuple[np.ndarray, np.ndarray]:
-        """Rays for every pixel, shape (H, W, 3) each (origins, directions)."""
-        u, v = self.pixel_grid()
-        return self.rays_for_pixels(u, v)
+        """Rays for every pixel, shape (H, W, 3) each (origins, directions).
+
+        The camera-space lattice is memoised per intrinsics (it is
+        pose-independent), so repeated full-frame generation only pays
+        the rotation + normalisation.
+        """
+        return self._world_rays(_camera_dir_grid(self.intrinsics))
 
     # -- projection ---------------------------------------------------------
 

@@ -39,21 +39,47 @@ class FramePointCloud:
         )
 
 
+# Per-(intrinsics, shape) normalised pixel lattices for depth lifting.
+# Keyed on the resolution too so mismatched depth maps never reuse a
+# lattice.  This is the warp path's per-frame setup cost (a measured hot
+# path; see repro.perf).  Bounded FIFO so a long-lived server cycling
+# many resolutions cannot grow it without limit.
+_LIFT_CACHE: dict = {}
+_LIFT_CACHE_MAX = 32
+
+
+def _lift_grids(intrinsics, height: int, width: int
+                ) -> tuple[np.ndarray, np.ndarray]:
+    """Cached ((H, W), (H, W)) lattices of (u - cx) / fx and (v - cy) / fy."""
+    key = (intrinsics, height, width)
+    grids = _LIFT_CACHE.get(key)
+    if grids is None:
+        us = np.arange(width, dtype=float) + 0.5
+        vs = np.arange(height, dtype=float) + 0.5
+        u, v = np.meshgrid(us, vs)
+        xg = (u - intrinsics.cx) / intrinsics.fx
+        yg = (v - intrinsics.cy) / intrinsics.fy
+        xg.setflags(write=False)
+        yg.setflags(write=False)
+        while len(_LIFT_CACHE) >= _LIFT_CACHE_MAX:
+            _LIFT_CACHE.pop(next(iter(_LIFT_CACHE)))
+        grids = _LIFT_CACHE[key] = (xg, yg)
+    return grids
+
+
 def depth_to_points(depth: np.ndarray, intrinsics) -> np.ndarray:
     """Back-project a depth map into camera-space points (Eq. 1).
 
     ``depth`` is (H, W) metric z-depth.  The output is (H*W, 3), row-major.
     Pixels with non-finite depth produce non-finite points; callers should
-    mask them via :func:`finite_mask` or :class:`FramePointCloud`.
+    mask them via :class:`FramePointCloud`.  The normalised pixel lattice
+    is memoised per intrinsics (bit-identical to recomputing it: the
+    lattice is a pure function of intrinsics and resolution).
     """
     depth = np.asarray(depth, dtype=float)
     height, width = depth.shape
-    us = np.arange(width, dtype=float) + 0.5
-    vs = np.arange(height, dtype=float) + 0.5
-    u, v = np.meshgrid(us, vs)
-    x = (u - intrinsics.cx) / intrinsics.fx * depth
-    y = (v - intrinsics.cy) / intrinsics.fy * depth
-    points = np.stack([x, y, depth], axis=-1)
+    xg, yg = _lift_grids(intrinsics, height, width)
+    points = np.stack([xg * depth, yg * depth, depth], axis=-1)
     return points.reshape(-1, 3)
 
 

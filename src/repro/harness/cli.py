@@ -15,6 +15,8 @@ open-loop cluster simulator from a shell::
     python -m repro.harness.cli cluster --fast --governor adaptive \\
         --slo 2000 --rate 40 --duration 1 --workers 1 --queue-limit 2
     python -m repro.harness.cli frontier --fast --rates 8,24,72 --frames 3
+    python -m repro.harness.cli bench --quick
+    python -m repro.harness.cli bench --kernels single_session.sparw
 
 ``--fast`` uses the reduced test-scale configuration (seconds per figure);
 the default scale matches the benchmarks (minutes for the quality figures).
@@ -45,6 +47,7 @@ SERVE_COMMAND = "serve"
 WORKLOADS_COMMAND = "workloads"
 CLUSTER_COMMAND = "cluster"
 FRONTIER_COMMAND = "frontier"
+BENCH_COMMAND = "bench"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,7 +58,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "figure",
         help="figure id (e.g. fig07), 'all', 'serve', 'cluster', "
-             "'frontier' (quality-vs-throughput sweep), 'workloads' to "
+             "'frontier' (quality-vs-throughput sweep), 'bench' (hot-path "
+             "microbenchmarks -> BENCH_perf.json), 'workloads' to "
              "list the named workload registry, or 'list' to print "
              "available ids")
     parser.add_argument(
@@ -121,6 +125,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "--governor the budget is split into "
                             "per-session shares by SLO pressure "
                             "(default: unbounded)")
+    bench = parser.add_argument_group(
+        "bench options", "only used with the 'bench' command")
+    bench.add_argument("--quick", action="store_true",
+                       help="CI smoke scale: FAST config, fewer reps, "
+                            "smaller synthetic inputs (seconds instead "
+                            "of minutes)")
+    bench.add_argument("--kernels", metavar="K1,K2,...", default=None,
+                       help="run only these registered kernels (default: "
+                            "the full registry; see docs/benchmarking.md)")
     frontier = parser.add_argument_group(
         "frontier options", "only used with the 'frontier' command")
     frontier.add_argument("--rates", metavar="R1,R2,...", default=None,
@@ -380,6 +393,40 @@ def run_cluster_command(args, config) -> int:
     return 0
 
 
+def run_bench_command(args, config) -> int:
+    from ..perf.bench import run_benchmarks
+    if args.quick:
+        config = FAST  # --quick implies the FAST scale
+    kernels = None
+    if args.kernels is not None:
+        kernels = [part.strip() for part in args.kernels.split(",")
+                   if part.strip()]
+        if not kernels:
+            print(f"bench: bad --kernels {args.kernels!r}; expected "
+                  "comma-separated kernel names", file=sys.stderr)
+            return 2
+    started = time.time()
+    try:
+        rows, extra = run_benchmarks(config=config, quick=args.quick,
+                                     kernels=kernels)
+    except KeyError as exc:
+        print(f"bench: {exc.args[0]}", file=sys.stderr)
+        return 2
+    elapsed = time.time() - started
+    # Rows are heterogeneous (per-kernel derived metrics); show the union
+    # of their columns instead of the first row's keys.
+    columns = list(dict.fromkeys(key for row in rows for key in row))
+    print_table(rows, columns=columns,
+                title=f"bench: {len(rows)} kernels ({elapsed:.1f}s wall)")
+    # Bench runs are the perf trajectory: every run persists its
+    # machine-readable artifact (compare runs with compare_bench.py).
+    json_dir = "bench-artifacts" if args.json_out is None else args.json_out
+    path = write_bench_json(json_dir, "perf", rows, elapsed, config=config,
+                            extra=extra)
+    print(f"\nwrote {path}")
+    return 0
+
+
 def run_frontier_command(args, config) -> int:
     from .frontier import run_frontier
     if args.scenes or args.algorithm is not None \
@@ -467,6 +514,7 @@ def main(argv=None) -> int:
     if args.figure == "list":
         for name in sorted(EXPERIMENTS):
             print(name)
+        print(BENCH_COMMAND)
         print(CLUSTER_COMMAND)
         print(FRONTIER_COMMAND)
         print(SERVE_COMMAND)
@@ -480,6 +528,8 @@ def main(argv=None) -> int:
         return run_cluster_command(args, config)
     if args.figure == FRONTIER_COMMAND:
         return run_frontier_command(args, config)
+    if args.figure == BENCH_COMMAND:
+        return run_bench_command(args, config)
     if args.figure == "all":
         for name in sorted(EXPERIMENTS):
             run_figure(name, config, json_dir=args.json_out)
@@ -487,7 +537,7 @@ def main(argv=None) -> int:
     if args.figure not in EXPERIMENTS:
         known = ", ".join(sorted(EXPERIMENTS))
         print(f"unknown figure {args.figure!r}; expected one of: {known}, "
-              f"all, serve, cluster, frontier, workloads, list",
+              f"all, bench, serve, cluster, frontier, workloads, list",
               file=sys.stderr)
         return 2
     run_figure(args.figure, config, json_dir=args.json_out)

@@ -196,14 +196,23 @@ def build_renderer(algorithm: str, scene_name: str,
                    config: ExperimentConfig = DEFAULT) -> NeRFRenderer:
     """Renderer with occupancy-culled sampling and the scene's background.
 
-    Served from the bounded :data:`~repro.workloads.cache.FIELD_CACHE`
-    (previously an *unbounded* ``lru_cache``, which grew without limit
-    under many-scene serving): while an entry is live, concurrent sessions
-    of the same workload share one renderer instance, which also lets the
-    multi-session engine batch their ray work against one field.  The key
-    carries only the field-relevant config subset plus the sampler depth,
-    so a quality-tier switch (smaller frames, shallower marching) resolves
-    to a cheap sampler around the *same* baked field — no re-bake.
+    Served from the bounded, byte-capped
+    :data:`~repro.workloads.cache.FIELD_CACHE`: while an entry is live,
+    concurrent sessions of the same workload share one renderer
+    instance, which also lets the multi-session engine batch their ray
+    work against one field.
+
+    Cache keying (the part that makes quality-tier switching cheap —
+    see :func:`_field_config_key`): the key carries *only* the config
+    parameters the baked field depends on (grid/hash/tensor scales,
+    feature dim, density shaping) plus ``samples_per_ray`` for the
+    sampler.  Imaging parameters — ``image_size``, trajectory and
+    memory-system scales — are deliberately excluded, so the quality
+    governor's degradation ladder (smaller frames, shallower marching)
+    resolves to a cheap new sampler around the *same* baked field and
+    occupancy grid: a tier switch never re-bakes.  Entries evict LRU
+    under the cache's entry/byte bounds, unlike the unbounded per-process
+    memo this replaced in PR 2.
     """
     key = ("renderer", algorithm, scene_name, _field_config_key(config),
            config.samples_per_ray)

@@ -67,7 +67,13 @@ class SHDecoder:
         features = np.atleast_2d(np.asarray(features, dtype=float))
         view_dirs = np.atleast_2d(np.asarray(view_dirs, dtype=float))
         sh = sh_basis_deg1(view_dirs)
-        core = self.mlp(np.concatenate([features, sh], axis=-1))
+        # The identity-affine MLP's weights are all 0/+1/-1, so every dot
+        # product in its forward pass reduces to at most two exact terms:
+        # the network output *bit-equals* the first CORE_FEATURE_DIM input
+        # channels, and this measured hot path skips the matmuls.  The
+        # full forward stays available for the cost model and the
+        # equivalence test (perf.reference.decode_reference).
+        core = features[:, :CORE_FEATURE_DIM]
 
         logit = np.clip(core[:, 0], -40.0, 40.0)
         sigma = self.max_density / (1.0 + np.exp(-logit))

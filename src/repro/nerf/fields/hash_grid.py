@@ -17,7 +17,7 @@ import numpy as np
 
 from .base import GatherGroup, RadianceField
 from .decode import SHDecoder
-from .interp import trilinear_setup
+from .interp import accumulate_gather, trilinear_gather, trilinear_setup
 from .voxel_grid import VoxelGridField
 
 __all__ = ["HashGridField"]
@@ -48,7 +48,9 @@ class _Level:
     def slots_for(self, coords01: np.ndarray
                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(cell_ids, slot_ids (N, 8), weights) for normalised coordinates."""
-        cell_ids, vertex_ids, weights = trilinear_setup(coords01, self.resolution)
+        cell_ids, vertex_ids, weights = trilinear_setup(coords01,
+                                                        self.resolution,
+                                                        assume_clipped=True)
         if self.dense:
             return cell_ids, vertex_ids, weights
         # Reconstruct integer vertex coords from flat ids to hash them.
@@ -61,8 +63,24 @@ class _Level:
         return cell_ids, _hash_vertices(multi, self.table_size), weights
 
     def interpolate(self, coords01: np.ndarray) -> np.ndarray:
+        """Level features for normalised coords (corner-accumulated gather).
+
+        Same ascending-corner addition order as the einsum predecessor,
+        so the sum is bit-identical without the (N, 8, F) intermediate.
+        Dense levels add per-corner offsets to a base vertex id; hashed
+        levels must still materialise per-corner slot columns (the hash
+        is not linear in the vertex coordinate).
+        """
+        if self.dense:
+            base_ids, offsets, factors = trilinear_gather(
+                coords01, self.resolution, assume_clipped=True)
+            return accumulate_gather(self.table, base_ids, offsets, factors)
         _, slots, weights = self.slots_for(coords01)
-        return np.einsum("nvf,nv->nf", self.table[slots], weights)
+        table = self.table
+        total = table[slots[:, 0]] * weights[:, 0, None]
+        for corner in range(1, slots.shape[1]):
+            total += table[slots[:, corner]] * weights[:, corner, None]
+        return total
 
 
 class HashGridField(RadianceField):

@@ -158,7 +158,8 @@ class TensorFactorField(RadianceField):
                              mode.vectors[:, vec_vertices], vec_weights)
 
         plane_coords = coords01[:, [pa, pb]]
-        _, plane_vertices, plane_weights = bilinear_setup(plane_coords, cells)
+        _, plane_vertices, plane_weights = bilinear_setup(plane_coords, cells,
+                                                          assume_clipped=True)
         flat_planes = mode.planes.reshape(mode.rank, -1)
         plane_vals = np.einsum("rnv,nv->nr",
                                flat_planes[:, plane_vertices], plane_weights)
@@ -182,7 +183,7 @@ class TensorFactorField(RadianceField):
             pa, pb = _PLANE_AXES[mode_idx]
 
             plane_cells, plane_vertices, plane_weights = bilinear_setup(
-                coords[:, [pa, pb]], cells)
+                coords[:, [pa, pb]], cells, assume_clipped=True)
             groups.append(GatherGroup(
                 name=f"plane{mode_idx}",
                 grid_shape=(cells, cells),

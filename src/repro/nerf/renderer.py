@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..geometry.camera import PinholeCamera
+from ..perf.timer import section
 from ..scenes.raytracer import Frame
 from .sampling import RaySamples, UniformSampler
 from .volume_render import composite
@@ -83,9 +84,10 @@ class NeRFRenderer:
 
         for start in range(0, num_rays, self.chunk_size):
             stop = min(start + self.chunk_size, num_rays)
-            samples = self.sampler.sample(origins[start:stop],
-                                          directions[start:stop],
-                                          self.field.bounds)
+            with section("nerf.sample"):
+                samples = self.sampler.sample(origins[start:stop],
+                                              directions[start:stop],
+                                              self.field.bounds)
             out = self._render_samples(samples, record_gather)
             rgb[start:stop] = out.rgb
             depth[start:stop] = out.depth_t
@@ -120,12 +122,15 @@ class NeRFRenderer:
             stats.gather_vertex_accesses += accesses
             stats.gather_bytes += accesses * group.entry_bytes
 
-        features = self.field.interpolate(samples.positions)
-        sigma, rgb_s = self.field.decode(features, samples.directions)
+        with section("nerf.interpolate"):
+            features = self.field.interpolate(samples.positions)
+        with section("nerf.decode"):
+            sigma, rgb_s = self.field.decode(features, samples.directions)
         stats.mlp_macs = len(samples) * self.field.decoder.macs_per_sample()
 
-        result = composite(sigma, rgb_s, samples.t_values, samples.deltas,
-                           samples.ray_index, samples.num_rays)
+        with section("nerf.composite"):
+            result = composite(sigma, rgb_s, samples.t_values, samples.deltas,
+                               samples.ray_index, samples.num_rays)
         return RenderOutput(rgb=result.rgb, depth_t=result.depth,
                             opacity=result.opacity, stats=stats,
                             gather_groups=groups)
@@ -164,13 +169,16 @@ class NeRFRenderer:
         parts: list = []
         for start in range(0, total, self.chunk_size):
             stop = min(start + self.chunk_size, total)
-            samples = self.sampler.sample(flat_o[start:stop],
-                                          flat_d[start:stop],
-                                          self.field.bounds)
+            with section("nerf.sample"):
+                samples = self.sampler.sample(flat_o[start:stop],
+                                              flat_d[start:stop],
+                                              self.field.bounds)
             if len(samples) == 0:
                 continue
-            features = self.field.interpolate(samples.positions)
-            sigma, rgb_s = self.field.decode(features, samples.directions)
+            with section("nerf.interpolate"):
+                features = self.field.interpolate(samples.positions)
+            with section("nerf.decode"):
+                sigma, rgb_s = self.field.decode(features, samples.directions)
             parts.append((samples.ray_index + start, samples.positions,
                           sigma, rgb_s, samples.t_values, samples.deltas))
         if parts:

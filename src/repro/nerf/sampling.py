@@ -4,6 +4,14 @@ The Indexing stage (I) begins here: every ray takes a fixed budget of samples
 between its AABB entry and exit points.  An optional occupancy grid (built
 from the baked density) culls samples in empty space, as DirectVoxGO and
 Instant-NGP both do.
+
+This is a measured hot path (see ``cli bench``): the occupancy lookup runs
+over every ray-sample pair of every render call.  The grid therefore
+precomputes a flattened mask + integer strides at construction, and the
+sampler derives per-sample arrays from the kept indices instead of
+materialising repeat-expanded arrays first.  Both rewrites are bit-identical
+to their predecessors (kept in :mod:`repro.perf.reference`, locked by
+``tests/perf/test_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -14,7 +22,35 @@ import numpy as np
 
 from ..geometry.rays import intersect_aabb
 
-__all__ = ["RaySamples", "OccupancyGrid", "UniformSampler"]
+__all__ = ["RaySamples", "OccupancyGrid", "UniformSampler",
+           "clear_sampling_scratch"]
+
+# Slot-named scratch arenas for the sampler's large per-call temporaries
+# (the (rays x samples) lattices).  Refreshing multi-megabyte temporaries
+# every call costs more in page zeroing than the arithmetic that fills
+# them; each slot instead grows to the largest size seen and is re-viewed
+# per call.  Every value returned from this module is a fresh gather (a
+# copy), never a scratch view, so reuse cannot alias results.  Like the
+# rest of the simulator, this is single-threaded by design.
+_SCRATCH: dict = {}
+
+
+def _scratch(slot: str, shape: tuple, dtype) -> np.ndarray:
+    """A ``shape``/``dtype`` view of the named slot's reusable arena."""
+    dtype = np.dtype(dtype)
+    count = 1
+    for extent in shape:
+        count *= int(extent)
+    nbytes = count * dtype.itemsize
+    arena = _SCRATCH.get(slot)
+    if arena is None or arena.nbytes < nbytes:
+        arena = _SCRATCH[slot] = np.empty(max(nbytes, 1), dtype=np.uint8)
+    return arena[:nbytes].view(dtype).reshape(shape)
+
+
+def clear_sampling_scratch() -> None:
+    """Release the scratch arenas (tests / memory-pressure hook)."""
+    _SCRATCH.clear()
 
 
 @dataclass
@@ -38,12 +74,19 @@ class RaySamples:
 
 
 class OccupancyGrid:
-    """Binary occupancy over the field bounds for empty-space skipping."""
+    """Binary occupancy over the field bounds for empty-space skipping.
+
+    The cubic mask is raveled once at construction so point lookups are a
+    single flat ``take`` instead of three-axis fancy indexing.
+    """
 
     def __init__(self, occupancy: np.ndarray, bounds: tuple):
         self.occupancy = np.asarray(occupancy, dtype=bool)
         self.bounds = (np.asarray(bounds[0], dtype=float),
                        np.asarray(bounds[1], dtype=float))
+        # Precomputed masked-array lookup state: the raveled mask plus the
+        # row-major strides implied by the cubic resolution.
+        self._flat = np.ascontiguousarray(self.occupancy).reshape(-1)
 
     @classmethod
     def from_field(cls, field, resolution: int = 32,
@@ -68,15 +111,38 @@ class OccupancyGrid:
         return cls(occ, field.bounds)
 
     def occupied(self, points: np.ndarray) -> np.ndarray:
-        """Boolean occupancy lookup for (N, 3) world points."""
+        """Boolean occupancy lookup for (N, 3) world points.
+
+        Same arithmetic as the per-axis predecessor
+        (:func:`repro.perf.reference.occupied_reference`) — normalise,
+        scale, truncate, clip — but with in-place intermediates and one
+        flat gather from the precomputed mask.
+        """
         lo, hi = self.bounds
         res = self.occupancy.shape[0]
-        coords = (np.asarray(points, dtype=float) - lo) / (hi - lo)
-        idx = np.clip((coords * res).astype(np.int64), 0, res - 1)
-        return self.occupancy[idx[:, 0], idx[:, 1], idx[:, 2]]
+        points = np.asarray(points, dtype=float)
+        coords = _scratch("occ.coords", points.shape, np.float64)
+        np.subtract(points, lo, out=coords)
+        coords /= (hi - lo)
+        coords *= res
+        # int32 halves the index traffic; grid resolutions are tiny, and
+        # the scaled coordinates of renderable points are far inside the
+        # int32 range, so the truncation matches the int64 predecessor.
+        idx = _scratch("occ.idx", points.shape, np.int32)
+        idx[...] = coords  # C-cast truncation, as astype did
+        np.clip(idx, 0, res - 1, out=idx)
+        flat = _scratch("occ.flat", points.shape[:1], np.int32)
+        np.multiply(idx[:, 0], res, out=flat)
+        flat += idx[:, 1]
+        flat *= res
+        flat += idx[:, 2]
+        # flat ids are in range by construction (per-axis clip above), so
+        # mode="clip" only selects take's no-bounds-check fast path.
+        return np.take(self._flat, flat, mode="clip")
 
     @property
     def occupancy_rate(self) -> float:
+        """Fraction of grid cells marked occupied."""
         return float(self.occupancy.mean())
 
 
@@ -93,39 +159,70 @@ class UniformSampler:
         self.occupancy = occupancy
         self.jitter = jitter
         self._rng = np.random.default_rng(seed)
+        # Deterministic strata midpoints (steps + 0.5) / S, precomputed:
+        # the jitter-free path reuses them every call.
+        self._midpoints = ((np.arange(self.num_samples) + 0.5)
+                           / self.num_samples)
 
     def sample(self, origins: np.ndarray, directions: np.ndarray,
                bounds: tuple) -> RaySamples:
-        """Generate flattened samples for a bundle of rays."""
+        """Generate flattened samples for a bundle of rays.
+
+        Bit-identical to the repeat-then-mask predecessor
+        (:func:`repro.perf.reference.sample_reference`): per-sample
+        directions, deltas, and ray ids are pure gathers, so deriving
+        them from the kept flat indices gives the same arrays without
+        materialising the dense (rays x samples) expansions.
+        """
         origins = np.atleast_2d(np.asarray(origins, dtype=float))
         directions = np.atleast_2d(np.asarray(directions, dtype=float))
         num_rays = origins.shape[0]
+        num_samples = self.num_samples
         lo, hi = bounds
 
         t_near, t_far, hit = intersect_aabb(origins, directions, lo, hi,
                                             near=1e-4)
-        spans = np.where(hit, t_far - t_near, 0.0)
-        steps = np.arange(self.num_samples)
-        if self.jitter:
-            offsets = self._rng.uniform(size=(num_rays, self.num_samples))
+        all_hit = bool(hit.all())
+        if all_hit:
+            spans = t_far - t_near  # np.where(hit, ...) with hit all-True
         else:
-            offsets = np.full((num_rays, self.num_samples), 0.5)
-        t = t_near[:, None] + (steps[None, :] + offsets) / self.num_samples * spans[:, None]
-        delta = spans / self.num_samples
+            spans = np.where(hit, t_far - t_near, 0.0)
+        if self.jitter:
+            steps = np.arange(num_samples)
+            offsets = self._rng.uniform(size=(num_rays, num_samples))
+            frac = (steps[None, :] + offsets) / num_samples
+        else:
+            frac = self._midpoints[None, :]
+        # t_near + frac*spans and origins + t*d, accumulated into scratch
+        # (addition is commutative, so summing into the product term gives
+        # the same array with no fresh multi-megabyte temporaries).
+        t = _scratch("sample.t", (num_rays, num_samples), np.float64)
+        np.multiply(frac, spans[:, None], out=t)
+        t += t_near[:, None]
+        delta = spans / num_samples
 
-        positions = origins[:, None, :] + t[..., None] * directions[:, None, :]
-        keep = np.repeat(hit[:, None], self.num_samples, axis=1)
+        positions = _scratch("sample.positions",
+                             (num_rays, num_samples, 3), np.float64)
+        np.multiply(t[..., None], directions[:, None, :], out=positions)
+        positions += origins[:, None, :]
         if self.occupancy is not None:
             occ = self.occupancy.occupied(positions.reshape(-1, 3))
-            keep &= occ.reshape(num_rays, self.num_samples)
+            keep = occ.reshape(num_rays, num_samples)
+            if not all_hit:
+                keep = keep & hit[:, None]
+        else:
+            keep = np.broadcast_to(hit[:, None], (num_rays, num_samples))
 
-        flat_keep = keep.reshape(-1)
-        ray_index = np.repeat(np.arange(num_rays), self.num_samples)[flat_keep]
+        flat_idx = np.flatnonzero(keep)
+        ray_index = flat_idx // num_samples
+        # All gathers below copy out of the scratch lattices (indices in
+        # range by construction; mode="clip" is take's fast path).
         return RaySamples(
-            positions=positions.reshape(-1, 3)[flat_keep],
-            directions=np.repeat(directions, self.num_samples, axis=0)[flat_keep],
-            t_values=t.reshape(-1)[flat_keep],
-            deltas=np.repeat(delta, self.num_samples)[flat_keep],
+            positions=np.take(positions.reshape(-1, 3), flat_idx, axis=0,
+                              mode="clip"),
+            directions=np.take(directions, ray_index, axis=0, mode="clip"),
+            t_values=np.take(t.reshape(-1), flat_idx, mode="clip"),
+            deltas=np.take(delta, ray_index, mode="clip"),
             ray_index=ray_index,
             num_rays=num_rays,
         )

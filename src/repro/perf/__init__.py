@@ -1,0 +1,29 @@
+"""Profiling and microbenchmark subsystem (``repro.perf``).
+
+Three layers, importable independently:
+
+* :mod:`repro.perf.timer` — ``Timer``/``Section`` wall-clock
+  instrumentation with a negligible-overhead no-op mode.  Product hot
+  paths (renderer, SPARW pipeline, engine) call
+  :func:`~repro.perf.timer.section` unconditionally; unless a timer is
+  activated the call is a shared no-op context manager.
+* :mod:`repro.perf.bench` — the microbenchmark registry behind
+  ``cli bench`` (field query, warp gather/scatter, disocclusion
+  classification, volume-render compositing, engine round, cluster
+  tick, end-to-end frames/s) and the ``BENCH_perf.json`` payload.
+* :mod:`repro.perf.reference` — the scalar/unfused predecessors of
+  every vectorized kernel, kept runnable for equivalence tests
+  (``tests/perf/test_equivalence.py``) and for the harness's
+  speedup-vs-baseline measurements.
+
+Only the timer layer is re-exported here: it has no dependencies, so
+product modules can import it without dragging in the bench harness.
+:mod:`repro.perf.bench` and :mod:`repro.perf.compare` import large
+parts of the codebase and must be imported as submodules.
+"""
+
+from .envinfo import environment_fingerprint
+from .timer import NULL_TIMER, Section, SectionStats, Timer, activate, section
+
+__all__ = ["Timer", "Section", "SectionStats", "NULL_TIMER", "activate",
+           "section", "environment_fingerprint"]

@@ -1,0 +1,64 @@
+"""Environment fingerprint embedded in every ``BENCH_perf.json``.
+
+Benchmark numbers are only comparable between runs on like hardware and
+like library versions; the fingerprint records enough to tell whether a
+regression is a code change or an environment change.  Everything here
+is JSON-native and cheap to collect (no subprocesses).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["environment_fingerprint", "git_revision"]
+
+
+def git_revision(repo_root: str | os.PathLike | None = None) -> str | None:
+    """Best-effort current commit hash, read straight from ``.git``.
+
+    Walks up from ``repo_root`` (default: this file's location) to find a
+    ``.git`` directory, then resolves ``HEAD`` — one file read, no git
+    binary.  Returns ``None`` outside a checkout (e.g. an installed
+    wheel); the fingerprint then simply omits the revision.
+    """
+    start = Path(repo_root) if repo_root is not None else Path(__file__)
+    for parent in [start, *start.parents]:
+        git_dir = parent / ".git"
+        if not git_dir.is_dir():
+            continue
+        try:
+            head = (git_dir / "HEAD").read_text().strip()
+            if head.startswith("ref:"):
+                ref = head.split(None, 1)[1]
+                ref_file = git_dir / ref
+                if ref_file.exists():
+                    return ref_file.read_text().strip()
+                packed = git_dir / "packed-refs"
+                if packed.exists():
+                    for line in packed.read_text().splitlines():
+                        if line.endswith(" " + ref):
+                            return line.split(" ", 1)[0]
+                return None
+            return head or None
+        except OSError:
+            return None
+    return None
+
+
+def environment_fingerprint() -> dict:
+    """JSON-able snapshot of the interpreter, numpy, and host platform."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "byte_order": sys.byteorder,
+        "git_revision": git_revision(),
+    }

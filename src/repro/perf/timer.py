@@ -1,0 +1,191 @@
+"""Wall-clock section instrumentation with a negligible-overhead no-op mode.
+
+Hot paths are annotated once, unconditionally::
+
+    from ..perf.timer import section
+
+    with section("nerf.render_rays"):
+        ...
+
+With no timer activated (the default), :func:`section` returns a shared
+no-op context manager — one global read and an attribute-free ``with``
+block, well under a microsecond per call (bounded by
+``tests/perf/test_timer.py``).  To actually measure, activate a
+:class:`Timer` around the region of interest::
+
+    timer = Timer()
+    with activate(timer):
+        run_workload()
+    print(timer.report())
+
+Timers are plain accumulators: per section name they keep call count and
+total/min/max nanoseconds.  Nesting the same section name is allowed
+(each ``with`` records independently); activation nests like a stack.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = ["SectionStats", "Section", "Timer", "NULL_TIMER", "activate",
+           "section"]
+
+
+@dataclass
+class SectionStats:
+    """Accumulated wall-clock statistics for one named section."""
+
+    calls: int = 0
+    total_ns: int = 0
+    min_ns: int = 0
+    max_ns: int = 0
+
+    @property
+    def mean_ns(self) -> float:
+        """Mean nanoseconds per call (0.0 before any call)."""
+        return self.total_ns / self.calls if self.calls else 0.0
+
+    def add(self, elapsed_ns: int) -> None:
+        """Fold one measured call into the running statistics."""
+        if self.calls == 0:
+            self.min_ns = self.max_ns = elapsed_ns
+        else:
+            self.min_ns = min(self.min_ns, elapsed_ns)
+            self.max_ns = max(self.max_ns, elapsed_ns)
+        self.calls += 1
+        self.total_ns += elapsed_ns
+
+
+class Section:
+    """Context manager timing one ``with`` block into a :class:`Timer`."""
+
+    __slots__ = ("_timer", "_name", "_start")
+
+    def __init__(self, timer: "Timer", name: str):
+        self._timer = timer
+        self._name = name
+        self._start = 0
+
+    def __enter__(self) -> "Section":
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._timer.record(self._name, time.perf_counter_ns() - self._start)
+
+
+class _NullSection:
+    """Shared do-nothing section: the inactive-mode fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SECTION = _NullSection()
+
+
+class Timer:
+    """Accumulates wall-clock time per named section.
+
+    ``enabled=False`` turns every :meth:`section` into the shared no-op,
+    so a timer can be threaded through call sites and switched off
+    without changing them.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = bool(enabled)
+        self._stats: dict[str, SectionStats] = {}
+
+    def section(self, name: str):
+        """A context manager timing ``name``, or the no-op when disabled."""
+        if not self.enabled:
+            return _NULL_SECTION
+        return Section(self, name)
+
+    def record(self, name: str, elapsed_ns: int) -> None:
+        """Fold one externally measured duration into section ``name``."""
+        stats = self._stats.get(name)
+        if stats is None:
+            stats = self._stats[name] = SectionStats()
+        stats.add(elapsed_ns)
+
+    def stats(self) -> dict:
+        """``{section name: SectionStats}`` snapshot (live objects)."""
+        return dict(self._stats)
+
+    def total_ns(self, name: str) -> int:
+        """Total nanoseconds recorded for ``name`` (0 if never entered)."""
+        stats = self._stats.get(name)
+        return stats.total_ns if stats is not None else 0
+
+    def reset(self) -> None:
+        """Drop every accumulated section."""
+        self._stats.clear()
+
+    def report(self) -> list:
+        """Sections as dict rows (descending total time), for tables/JSON."""
+        rows = []
+        for name, stats in sorted(self._stats.items(),
+                                  key=lambda kv: -kv[1].total_ns):
+            rows.append({
+                "section": name,
+                "calls": stats.calls,
+                "total_ms": stats.total_ns / 1e6,
+                "mean_us": stats.mean_ns / 1e3,
+                "min_us": stats.min_ns / 1e3,
+                "max_us": stats.max_ns / 1e3,
+            })
+        return rows
+
+
+class _NullTimer(Timer):
+    """A permanently disabled timer (``section`` is always the no-op)."""
+
+    def __init__(self):
+        super().__init__(enabled=False)
+
+    def record(self, name: str, elapsed_ns: int) -> None:
+        """Discard the measurement (the null timer accumulates nothing)."""
+
+
+NULL_TIMER = _NullTimer()
+
+# The currently active timer, consulted by module-level `section()`.
+# None (the overwhelmingly common case) keeps hot paths on the no-op.
+_active: Timer | None = None
+
+
+@contextmanager
+def activate(timer: Timer):
+    """Route module-level :func:`section` calls into ``timer`` while open.
+
+    Activations nest: the innermost timer wins, and the previous one is
+    restored on exit.
+    """
+    global _active
+    previous = _active
+    _active = timer
+    try:
+        yield timer
+    finally:
+        _active = previous
+
+
+def section(name: str):
+    """Time ``name`` into the active timer; a shared no-op when none is.
+
+    This is the annotation product code uses.  The inactive path costs
+    one global read, one comparison, and an empty ``with`` protocol —
+    negligible against any numpy call.
+    """
+    timer = _active
+    if timer is None:
+        return _NULL_SECTION
+    return timer.section(name)

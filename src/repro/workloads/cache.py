@@ -45,13 +45,16 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total lookups (hits + misses)."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Hits per lookup (0.0 before any lookup)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
     def snapshot(self) -> "CacheStats":
+        """An independent copy of the counters (for before/after deltas)."""
         return CacheStats(hits=self.hits, misses=self.misses,
                           insertions=self.insertions,
                           evictions=self.evictions)
@@ -104,6 +107,7 @@ class SharedLRUCache:
 
     @property
     def total_bytes(self) -> int:
+        """Sum of the sizes of all live entries."""
         return self._total_bytes
 
     def get(self, key, default=None):
@@ -140,6 +144,7 @@ class SharedLRUCache:
         return value
 
     def clear(self) -> None:
+        """Drop every entry (counters keep their history)."""
         self._entries.clear()
         self._total_bytes = 0
 

@@ -31,6 +31,7 @@ def register_workload(spec: WorkloadSpec, replace: bool = False
 
 
 def get_workload(name: str) -> WorkloadSpec:
+    """Look up a named builtin spec; raises KeyError listing valid names."""
     try:
         return WORKLOADS[name]
     except KeyError:

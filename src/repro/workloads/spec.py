@@ -183,6 +183,7 @@ class WorkloadSpec:
             samples_per_ray=max(24, base.samples_per_ray // 2))
 
     def num_frames(self, config) -> int:
+        """Sequence length: the spec's override or the config default."""
         return self.frames if self.frames is not None else config.num_frames
 
     def build_trajectory(self, config) -> Trajectory:

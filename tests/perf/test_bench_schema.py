@@ -1,0 +1,88 @@
+"""BENCH_perf.json: strict-JSON round-trip and compare-tool behaviour."""
+
+import json
+
+import pytest
+
+from repro.harness.configs import FAST
+from repro.harness.reporting import bench_payload, safe_json_dumps
+from repro.perf import bench
+from repro.perf.compare import compare_payloads, load_artifact
+
+
+@pytest.fixture(scope="module")
+def payload():
+    rows, extra = bench.run_benchmarks(
+        config=FAST, quick=True,
+        kernels=["disocclusion.classify", "volume.composite"])
+    return bench_payload("perf", rows, 0.5, config=FAST, extra=extra)
+
+
+def _strict_loads(text):
+    """json.loads that rejects any non-compliant Infinity/NaN literal."""
+    def reject(token):
+        raise ValueError(f"non-strict JSON constant {token!r}")
+    return json.loads(text, parse_constant=reject)
+
+
+def test_payload_round_trips_through_safe_json_dumps(payload):
+    text = safe_json_dumps(payload, indent=2, sort_keys=True)
+    back = _strict_loads(text)
+    assert back["schema"] == 1
+    assert back["figure"] == "perf"
+    kernels = [row["kernel"] for row in back["rows"]]
+    assert kernels == ["disocclusion.classify", "volume.composite"]
+    for row in back["rows"]:
+        assert isinstance(row["ns_per_op"], float)
+    env = back["extra"]["environment"]
+    assert env["numpy"] and env["python"]
+    # A second dump of the parsed payload is stable (no lossy coercions).
+    assert safe_json_dumps(back) == safe_json_dumps(_strict_loads(text))
+
+
+def test_cli_bench_writes_loadable_artifact(tmp_path):
+    from repro.harness.cli import main
+    rc = main(["bench", "--quick", "--kernels", "disocclusion.classify",
+               "--json-out", str(tmp_path)])
+    assert rc == 0
+    artifact = load_artifact(tmp_path / "BENCH_perf.json")
+    assert artifact["figure"] == "perf"
+    assert artifact["rows"][0]["kernel"] == "disocclusion.classify"
+    assert artifact["extra"]["mode"] == "quick"
+
+
+def test_cli_bench_rejects_unknown_kernel(tmp_path, capsys):
+    from repro.harness.cli import main
+    rc = main(["bench", "--quick", "--kernels", "not-a-kernel",
+               "--json-out", str(tmp_path)])
+    assert rc == 2
+    assert "unknown benchmark kernels" in capsys.readouterr().err
+
+
+def _artifact(kernel_ns):
+    return {"rows": [{"kernel": k, "ns_per_op": ns}
+                     for k, ns in kernel_ns.items()]}
+
+
+def test_compare_flags_regressions_only_beyond_threshold():
+    baseline = _artifact({"a": 100.0, "b": 100.0, "gone": 5.0})
+    candidate = _artifact({"a": 110.0, "b": 200.0, "new": 5.0})
+    result = compare_payloads(baseline, candidate, threshold=1.25)
+    verdicts = {row["kernel"]: row["verdict"] for row in result["rows"]}
+    assert verdicts == {"a": "ok", "b": "REGRESSED"}
+    assert result["regressions"] == ["b"]
+    assert result["only_baseline"] == ["gone"]
+    assert result["only_candidate"] == ["new"]
+
+
+def test_compare_cli_exit_codes(tmp_path):
+    from repro.perf.compare import main
+    old = tmp_path / "old.json"
+    new = tmp_path / "new.json"
+    old.write_text(json.dumps(_artifact({"a": 100.0})))
+    new.write_text(json.dumps(_artifact({"a": 99.0})))
+    assert main([str(old), str(new)]) == 0
+    new.write_text(json.dumps(_artifact({"a": 500.0})))
+    assert main([str(old), str(new)]) == 1
+    assert main(["--threshold", "10.0", str(old), str(new)]) == 0
+    assert main([str(old), str(tmp_path / "missing.json")]) == 2

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Check that every relative link in README.md and docs/ resolves.
+
+Scans markdown files for inline links/images, skips absolute URLs and
+pure anchors, and verifies each relative target exists on disk (anchor
+fragments are stripped before the check). Exit code 1 lists every
+broken link. Run from the repository root — CI's docs job does::
+
+    python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline markdown links/images: [text](target) / ![alt](target).
+# Reference-style definitions are rare here; inline covers our docs.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def markdown_files(root: Path) -> list:
+    """README.md plus every markdown file under docs/."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").rglob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_file(path: Path, root: Path) -> list:
+    """Broken relative links in one file as (target, reason) pairs."""
+    broken = []
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                broken.append((target, f"{relative} does not exist"))
+            elif root.resolve() not in resolved.parents \
+                    and resolved != root.resolve():
+                broken.append((target, "escapes the repository"))
+    return broken
+
+
+def main() -> int:
+    """Check every markdown file; print failures and return the exit code."""
+    root = Path(__file__).resolve().parent.parent
+    failures = 0
+    for path in markdown_files(root):
+        for target, reason in check_file(path, root):
+            print(f"{path.relative_to(root)}: broken link {target!r} "
+                  f"({reason})", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"\n{failures} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"all relative links resolve across "
+          f"{len(markdown_files(root))} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
