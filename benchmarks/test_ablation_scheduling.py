@@ -14,7 +14,7 @@ from conftest import run_once
 from repro.core.sparw import classify_pixels, warp_frame
 from repro.harness import print_table
 from repro.harness.configs import ground_truth_sequence, make_camera
-from repro.harness.experiments import full_frame_profile, run_sparw, sparw_workloads_from_result
+from repro.harness.figures import full_frame_profile, run_sparw, sparw_workloads_from_result
 from repro.hw import SoCModel, overlapped_timeline, serialized_timeline
 
 

@@ -16,7 +16,7 @@ from repro.core.layout import ChannelMajorLayout, FeatureMajorLayout
 from repro.core.streaming import FullyStreamingScheduler
 from repro.harness import FAST, print_table
 from repro.harness.configs import DEFAULT
-from repro.harness.experiments import full_frame_profile
+from repro.harness.figures import full_frame_profile
 from repro.memsys import analyze_streaming, interleaved_gather_trace
 
 

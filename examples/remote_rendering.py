@@ -14,7 +14,7 @@ Run:  python examples/remote_rendering.py
 
 from repro.harness import print_table
 from repro.harness.configs import FAST, ExperimentConfig
-from repro.harness.experiments import (
+from repro.harness.figures import (
     full_frame_profile,
     run_sparw,
     sparw_workloads_from_result,

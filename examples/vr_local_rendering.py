@@ -11,7 +11,7 @@ Run:  python examples/vr_local_rendering.py
 
 from repro.harness import DEFAULT, print_table
 from repro.harness.configs import ExperimentConfig
-from repro.harness.experiments import (
+from repro.harness.figures import (
     full_frame_profile,
     run_sparw,
     sparw_workloads_from_result,

@@ -65,6 +65,8 @@ class ClusterReport:
     p99_latency_s: float
     worst_latency_s: float
     mean_utilization: float
+    total_busy_s: float
+    total_energy_j: float
     ref_cache_hits: int
     ref_cache_misses: int
     ref_cache_hit_rate: float
@@ -104,6 +106,10 @@ class ClusterReport:
             "p99_latency_ms": self.p99_latency_s * 1e3,
             "worst_latency_ms": self.worst_latency_s * 1e3,
             "mean_utilization": self.mean_utilization,
+            "total_busy_s": self.total_busy_s,
+            "total_energy_j": self.total_energy_j,
+            "joules_per_frame": (self.total_energy_j / self.total_frames
+                                 if self.total_frames else 0.0),
             "ref_cache_hits": self.ref_cache_hits,
             "ref_cache_misses": self.ref_cache_misses,
             "ref_cache_hit_rate": self.ref_cache_hit_rate,
@@ -354,6 +360,8 @@ class ClusterSimulator:
             worst_latency_s=max(latencies, default=0.0),
             mean_utilization=_mean([row["utilization"]
                                     for row in per_worker]),
+            total_busy_s=sum(w.busy_s for w in self.workers),
+            total_energy_j=sum(w.energy_served_j for w in self.workers),
             ref_cache_hits=hits,
             ref_cache_misses=misses,
             ref_cache_hit_rate=hits / lookups if lookups else 0.0,

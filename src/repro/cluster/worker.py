@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..engine import MultiSessionEngine
-from ..hw.serving import price_session_frames
+from ..hw.serving import session_frame_costs
 from ..hw.soc import SoCModel
 from ..workloads import SharedLRUCache
 
@@ -34,6 +34,7 @@ class PlacedSession:
     arrival_s: float
     frame_costs: list
     fps_target: float
+    frame_energies: list = field(default_factory=list)
     references: int = 0
     next_frame: int = 0
     last_completion_s: float = 0.0
@@ -86,6 +87,7 @@ class Worker:
         self.busy_s = 0.0
         self.busy_until_s = float(started_s)
         self.frames_served = 0
+        self.energy_served_j = 0.0
         self.sessions_admitted = 0
 
     # -- state -------------------------------------------------------------------
@@ -137,11 +139,13 @@ class Worker:
         admission).
         """
         engine_session = self._render(session_id, spec, level)
-        costs = price_session_frames(engine_session.result, self.soc,
-                                     spec.variant)
+        costs = session_frame_costs(engine_session.result, self.soc,
+                                    spec.variant)
         placed = PlacedSession(
             session_id=session_id, spec=spec, worker_id=self.worker_id,
-            arrival_s=float(now_s), frame_costs=costs,
+            arrival_s=float(now_s),
+            frame_costs=[c.time_s for c in costs],
+            frame_energies=[c.energy_j for c in costs],
             fps_target=spec.fps_target,
             references=engine_session.result.num_references,
             last_completion_s=float(now_s),
@@ -181,12 +185,13 @@ class Worker:
         engine_session = self._render(
             f"{placed.session_id}/l{level}@{start}", placed.spec, level,
             poses=poses)
-        costs = price_session_frames(engine_session.result, self.soc,
-                                     placed.spec.variant)
+        costs = session_frame_costs(engine_session.result, self.soc,
+                                    placed.spec.variant)
         refs = [r.new_reference for r in engine_session.result.records]
         # The discarded tail's references leave the accounting with it.
         placed.references += sum(refs) - sum(placed.frame_refs[start:])
-        placed.frame_costs[start:] = costs
+        placed.frame_costs[start:] = [c.time_s for c in costs]
+        placed.frame_energies[start:] = [c.energy_j for c in costs]
         placed.frame_levels[start:] = [int(level)] * len(costs)
         placed.frame_refs[start:] = refs
         placed.level = int(level)
@@ -237,6 +242,7 @@ class Worker:
         session.last_completion_s = now_s
         session.next_frame += 1
         self.frames_served += 1
+        self.energy_served_j += session.frame_energies[k]
         self.current = None
         if session.done:
             self.sessions.remove(session)
@@ -261,6 +267,7 @@ class Worker:
             "sessions": self.sessions_admitted,
             "frames": self.frames_served,
             "busy_s": self.busy_s,
+            "energy_j": self.energy_served_j,
             "utilization": (self.busy_s / lifetime_s
                             if lifetime_s > 0 else 0.0),
             "ref_hits": cache.hits,

@@ -1,4 +1,4 @@
-"""Experiment harness: configs, per-figure runners, reporting."""
+"""Experiment harness: configs, figure runners, run tables, reporting."""
 
 from .configs import (
     ALGORITHMS,
@@ -11,10 +11,17 @@ from .configs import (
     make_camera,
     scene_of,
 )
-from .experiments import EXPERIMENTS, full_frame_profile, run_sparw
+from .figures import EXPERIMENTS, full_frame_profile, run_sparw
 from .reporting import format_table, print_table
+from .runconfig import RunConfig, RunConfigError
+from .runner import ExperimentTable, execute_cell, run_table
 
 __all__ = [
+    "RunConfig",
+    "RunConfigError",
+    "ExperimentTable",
+    "execute_cell",
+    "run_table",
     "ALGORITHMS",
     "DEFAULT",
     "FAST",

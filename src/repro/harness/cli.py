@@ -15,6 +15,8 @@ open-loop cluster simulator from a shell::
     python -m repro.harness.cli cluster --fast --governor adaptive \\
         --slo 2000 --rate 40 --duration 1 --workers 1 --queue-limit 2
     python -m repro.harness.cli frontier --fast --rates 8,24,72 --frames 3
+    python -m repro.harness.cli experiment --table examples/experiments/quick.json
+    python -m repro.harness.cli experiment --table t.json --resume --out runs
     python -m repro.harness.cli bench --quick
     python -m repro.harness.cli bench --kernels single_session.sparw
 
@@ -26,7 +28,9 @@ NAME[:N]`` mixes named workload specs (see the ``workloads`` command) into
 one heterogeneous serve with the shared cross-session reference cache.
 ``cluster`` runs sessions *arriving over time* against a fleet of SoC
 workers with admission control, placement, and optional autoscaling;
-``--seed`` makes every stochastic run reproducible.
+``--seed`` makes every stochastic run reproducible.  ``experiment``
+executes a factorial run table of such cells (``--table table.json``,
+``--resume`` to complete an interrupted run; see docs/experiments.md).
 """
 
 from __future__ import annotations
@@ -38,16 +42,18 @@ import time
 from ..cluster import ARRIVAL_KINDS, PLACEMENTS
 from ..control import GOVERNOR_MODES
 from ..hw.soc import VARIANTS
-from ..workloads import list_workloads, parse_mix
-from .configs import ALGORITHMS, DEFAULT, FAST, scene_of
-from .experiments import EXPERIMENTS
+from ..workloads import list_workloads
+from .configs import DEFAULT, FAST
+from .figures import EXPERIMENTS
 from .reporting import print_table, write_bench_json
+from .runconfig import RunConfigError, from_cli_args, parse_rates
 
 SERVE_COMMAND = "serve"
 WORKLOADS_COMMAND = "workloads"
 CLUSTER_COMMAND = "cluster"
 FRONTIER_COMMAND = "frontier"
 BENCH_COMMAND = "bench"
+EXPERIMENT_COMMAND = "experiment"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,7 +64,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "figure",
         help="figure id (e.g. fig07), 'all', 'serve', 'cluster', "
-             "'frontier' (quality-vs-throughput sweep), 'bench' (hot-path "
+             "'frontier' (quality-vs-throughput sweep), 'experiment' "
+             "(factorial run table from --table), 'bench' (hot-path "
              "microbenchmarks -> BENCH_perf.json), 'workloads' to "
              "list the named workload registry, or 'list' to print "
              "available ids")
@@ -155,8 +162,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="arrival window in virtual seconds "
                               "(default 10; not valid with --arrivals "
                               "replay)")
-    cluster.add_argument("--workers", type=int, default=4,
-                         help="initial SoC worker count (default 4)")
+    cluster.add_argument("--workers", type=int, default=None,
+                         help="initial SoC worker count (default 4; "
+                              "defaults late so 'serve' can reject "
+                              "explicit use)")
     cluster.add_argument("--placement",
                          choices=tuple(sorted(PLACEMENTS)),
                          default=None,
@@ -164,7 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "'frontier' (default least_loaded; "
                               "cache_affinity co-locates sessions sharing "
                               "content on one worker's reference cache)")
-    cluster.add_argument("--queue-limit", type=int, default=4,
+    cluster.add_argument("--queue-limit", type=int, default=None,
                          help="max resident sessions per worker before "
                               "admission rejects (default 4)")
     cluster.add_argument("--trace", metavar="PATH", default=None,
@@ -182,6 +191,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="provisioning delay in virtual seconds "
                               "before a scaled-up worker takes sessions "
                               "(default 1.0; requires --autoscale)")
+    experiment = parser.add_argument_group(
+        "experiment options", "only used with the 'experiment' command")
+    experiment.add_argument("--table", metavar="PATH", default=None,
+                            help="factorial run table (.json, or .toml on "
+                                 "Python 3.11+): a base RunConfig plus "
+                                 "axes to sweep (see docs/experiments.md)")
+    experiment.add_argument("--resume", action="store_true",
+                            help="skip cells whose artifact under "
+                                 "--out/cells already matches their "
+                                 "config hash")
+    experiment.add_argument("--out", metavar="DIR", default=None,
+                            help="artifact directory for the run table "
+                                 "(default bench-artifacts)")
     return parser
 
 
@@ -202,71 +224,17 @@ def run_workloads_listing() -> int:
 
 
 def run_serve(args, config) -> int:
-    from .serve import run_serve as serve_experiment
-    if args.frames is not None and args.frames < 1:
-        print("serve: --frames must be >= 1", file=sys.stderr)
+    from .runner import execute_cell
+    try:
+        cell = from_cli_args(SERVE_COMMAND, args)
+    except RunConfigError as exc:
+        print(f"serve: {exc.args[0]}", file=sys.stderr)
         return 2
-    if args.slo is not None and args.slo <= 0:
-        print("serve: --slo must be > 0", file=sys.stderr)
-        return 2
-    if args.ray_budget is not None and args.ray_budget < 1:
-        print("serve: --ray-budget must be >= 1", file=sys.stderr)
-        return 2
-    scheduler = args.scheduler or "round_robin"
-    governor = args.governor or "off"
-    mix = None
-    if args.workloads:
-        if args.scenes or args.algorithm is not None \
-                or args.variant is not None or args.sessions is not None:
-            print("serve: --workload cannot be combined with --scene/"
-                  "--algorithm/--variant/--sessions (the specs and mix "
-                  "counts fix them)", file=sys.stderr)
-            return 2
-        try:
-            mix = parse_mix(args.workloads)
-        except (KeyError, ValueError) as exc:
-            print(f"serve: {exc.args[0]}", file=sys.stderr)
-            return 2
-        num_sessions = sum(count for _, count in mix)
-    else:
-        sessions = 4 if args.sessions is None else args.sessions
-        if sessions < 1:
-            print("serve: --sessions must be >= 1", file=sys.stderr)
-            return 2
-        algorithm = args.algorithm or "directvoxgo"
-        if algorithm not in ALGORITHMS:
-            print(f"serve: unknown algorithm {algorithm!r}; one of "
-                  f"{ALGORITHMS}", file=sys.stderr)
-            return 2
-        scenes = tuple(args.scenes or ("lego",))
-        for name in scenes:
-            try:
-                scene_of(name)
-            except KeyError as exc:
-                print(f"serve: {exc.args[0]}", file=sys.stderr)
-                return 2
-        num_sessions = sessions
     started = time.time()
-    if mix is not None:
-        rows, summary = serve_experiment(
-            config, scheduler=scheduler, frames=args.frames,
-            workloads=mix, use_cache=not args.no_cache, seed=args.seed,
-            governor=governor, slo_fps=args.slo,
-            ray_budget=args.ray_budget)
-    else:
-        if governor != "off":
-            print("serve: --governor needs --workload mixes (the legacy "
-                  "scene-cycling sessions carry no SLO fields)",
-                  file=sys.stderr)
-            return 2
-        rows, summary = serve_experiment(
-            config, sessions=sessions, scheduler=scheduler,
-            variant=args.variant or "cicero", frames=args.frames,
-            scene_names=scenes, algorithm=algorithm,
-            use_cache=not args.no_cache, seed=args.seed,
-            ray_budget=args.ray_budget)
+    result = execute_cell(cell, config=config)
+    rows, summary = result.rows, result.summary
     elapsed = time.time() - started
-    print_table(rows, title=f"serve: {num_sessions} sessions "
+    print_table(rows, title=f"serve: {len(rows)} sessions "
                             f"({elapsed:.1f}s wall)")
     cache = summary.get("cache") or {}
     print_table([{k: v for k, v in summary.items() if k != "cache"}],
@@ -277,87 +245,22 @@ def run_serve(args, config) -> int:
                     title="shared caches (counters: this run; "
                           "entries/bytes: current totals)")
     if args.json_out is not None:
-        name = "serve_mixed" if mix is not None else SERVE_COMMAND
+        name = "serve_mixed" if cell.workloads is not None else SERVE_COMMAND
         write_bench_json(args.json_out, name, rows, elapsed,
-                         config=config, extra=summary)
+                         config=config, extra=summary, kind=SERVE_COMMAND)
     return 0
 
 
 def run_cluster_command(args, config) -> int:
-    from .cluster import run_cluster
-    if args.scenes or args.algorithm is not None \
-            or args.variant is not None or args.sessions is not None \
-            or args.scheduler is not None or args.ray_budget is not None:
-        print("cluster: --scene/--algorithm/--variant/--sessions/"
-              "--scheduler/--ray-budget are serve-only options (use "
-              "--workload NAME[:N] to shape the arrival mix)",
-              file=sys.stderr)
+    from .runner import execute_cell
+    try:
+        cell = from_cli_args(CLUSTER_COMMAND, args)
+    except RunConfigError as exc:
+        print(f"cluster: {exc.args[0]}", file=sys.stderr)
         return 2
-    if args.rates is not None:
-        print("cluster: --rates is a frontier-only option (use --rate "
-              "for a single arrival rate)", file=sys.stderr)
-        return 2
-    if args.slo is not None and args.slo <= 0:
-        print("cluster: --slo must be > 0", file=sys.stderr)
-        return 2
-    if args.rate is not None and args.rate <= 0 \
-            or args.duration is not None and args.duration <= 0:
-        print("cluster: --rate and --duration must be > 0",
-              file=sys.stderr)
-        return 2
-    if args.workers < 1 or args.queue_limit < 1:
-        print("cluster: --workers and --queue-limit must be >= 1",
-              file=sys.stderr)
-        return 2
-    if args.frames is not None and args.frames < 1:
-        print("cluster: --frames must be >= 1", file=sys.stderr)
-        return 2
-    arrivals = args.arrivals or "poisson"
-    if (arrivals == "replay") != (args.trace is not None):
-        print("cluster: --trace is required for (and only valid with) "
-              "--arrivals replay", file=sys.stderr)
-        return 2
-    if arrivals == "replay" and (args.workloads or args.rate
-                                 is not None or args.duration
-                                 is not None):
-        print("cluster: --workload/--rate/--duration do not apply to "
-              "--arrivals replay (the trace fixes every arrival)",
-              file=sys.stderr)
-        return 2
-    if not args.autoscale and (args.min_workers is not None
-                               or args.max_workers is not None
-                               or args.scale_up_latency is not None):
-        print("cluster: --min-workers/--max-workers/--scale-up-latency "
-              "require --autoscale", file=sys.stderr)
-        return 2
-    mix = None
-    if args.workloads:
-        try:
-            mix = parse_mix(args.workloads)
-        except (KeyError, ValueError) as exc:
-            print(f"cluster: {exc.args[0]}", file=sys.stderr)
-            return 2
-    # Options the user left unset are omitted so run_cluster's own
-    # signature stays the single home of the experiment defaults.
-    overrides = {
-        key: value for key, value in (
-            ("rate_hz", args.rate),
-            ("duration_s", args.duration),
-            ("scale_up_latency_s", args.scale_up_latency),
-        ) if value is not None}
     started = time.time()
     try:
-        rows, summary = run_cluster(
-            config, mix=mix, arrivals=arrivals,
-            workers=args.workers,
-            placement=args.placement or "least_loaded",
-            queue_limit=args.queue_limit,
-            frames=args.frames, seed=args.seed, trace=args.trace,
-            use_cache=not args.no_cache,
-            autoscale=args.autoscale, min_workers=args.min_workers,
-            max_workers=args.max_workers,
-            governor=args.governor or "off", slo_fps=args.slo,
-            **overrides)
+        result = execute_cell(cell, config=config)
     except (ValueError, KeyError, OSError) as exc:
         # ValueError/KeyError carry a crafted message in args[0];
         # OSError's args[0] is the bare errno, so stringify the whole
@@ -366,6 +269,7 @@ def run_cluster_command(args, config) -> int:
                    else exc)
         print(f"cluster: {message}", file=sys.stderr)
         return 2
+    rows, summary = result.rows, result.summary
     elapsed = time.time() - started
     print_table(rows, title=f"cluster: {len(rows)} workers "
                             f"({elapsed:.1f}s wall)")
@@ -388,7 +292,8 @@ def run_cluster_command(args, config) -> int:
     # bench artifacts when --json-out is not given.
     json_dir = "bench-artifacts" if args.json_out is None else args.json_out
     path = write_bench_json(json_dir, CLUSTER_COMMAND, rows, elapsed,
-                            config=config, extra=summary)
+                            config=config, extra=summary,
+                            kind=CLUSTER_COMMAND)
     print(f"\nwrote {path}")
     return 0
 
@@ -422,69 +327,37 @@ def run_bench_command(args, config) -> int:
     # machine-readable artifact (compare runs with compare_bench.py).
     json_dir = "bench-artifacts" if args.json_out is None else args.json_out
     path = write_bench_json(json_dir, "perf", rows, elapsed, config=config,
-                            extra=extra)
+                            extra=extra, kind="perf")
     print(f"\nwrote {path}")
     return 0
 
 
 def run_frontier_command(args, config) -> int:
     from .frontier import run_frontier
-    if args.scenes or args.algorithm is not None \
-            or args.variant is not None or args.sessions is not None \
-            or args.scheduler is not None or args.ray_budget is not None:
-        print("frontier: --scene/--algorithm/--variant/--sessions/"
-              "--scheduler/--ray-budget are serve-only options",
-              file=sys.stderr)
+    try:
+        cell = from_cli_args(FRONTIER_COMMAND, args)
+        rates = (parse_rates(args.rates) if args.rates is not None
+                 else None)
+    except RunConfigError as exc:
+        print(f"frontier: {exc.args[0]}", file=sys.stderr)
         return 2
-    if args.trace is not None or args.autoscale \
-            or args.min_workers is not None or args.max_workers is not None \
-            or args.scale_up_latency is not None or args.rate is not None \
-            or args.arrivals is not None:
-        print("frontier: --rate/--arrivals/--trace/--autoscale options do "
-              "not apply (the sweep fixes poisson arrivals; use --rates "
-              "for the load points)", file=sys.stderr)
-        return 2
-    if args.slo is not None and args.slo <= 0:
-        print("frontier: --slo must be > 0", file=sys.stderr)
-        return 2
-    if args.frames is not None and args.frames < 1:
-        print("frontier: --frames must be >= 1", file=sys.stderr)
-        return 2
-    rates = None
-    if args.rates is not None:
-        try:
-            rates = tuple(float(part) for part in args.rates.split(",")
-                          if part.strip())
-        except ValueError:
-            print(f"frontier: bad --rates {args.rates!r}; expected "
-                  "comma-separated numbers", file=sys.stderr)
-            return 2
-        if len(rates) < 3 or any(r <= 0 for r in rates):
-            print("frontier: --rates needs >= 3 positive load points",
-                  file=sys.stderr)
-            return 2
-    mix = None
-    if args.workloads:
-        try:
-            mix = parse_mix(args.workloads)
-        except (KeyError, ValueError) as exc:
-            print(f"frontier: {exc.args[0]}", file=sys.stderr)
-            return 2
     # --governor restricts the sweep to one mode (default: all three).
     modes = GOVERNOR_MODES if args.governor is None else (args.governor,)
     kwargs = {
         key: value for key, value in (
             ("rates", rates),
-            ("duration_s", args.duration),
-            ("frames", args.frames),
+            ("duration_s", cell.duration_s),
+            ("frames", cell.frames),
         ) if value is not None}
     started = time.time()
     try:
         rows, summary = run_frontier(
-            config, mix=mix, workers=args.workers,
-            placement=args.placement or "least_loaded",
-            queue_limit=args.queue_limit, seed=args.seed, modes=modes,
-            slo_fps=args.slo, use_cache=not args.no_cache, **kwargs)
+            config, mix=cell.workloads,
+            workers=4 if cell.workers is None else cell.workers,
+            placement=cell.placement or "least_loaded",
+            queue_limit=4 if cell.queue_limit is None else cell.queue_limit,
+            seed=cell.seed, modes=modes,
+            slo_fps=cell.slo_fps, use_cache=cell.use_cache, **kwargs)
     except (ValueError, KeyError) as exc:
         print(f"frontier: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -494,7 +367,42 @@ def run_frontier_command(args, config) -> int:
     print_table([summary], title="sweep")
     json_dir = "bench-artifacts" if args.json_out is None else args.json_out
     path = write_bench_json(json_dir, FRONTIER_COMMAND, rows, elapsed,
-                            config=config, extra=summary)
+                            config=config, extra=summary,
+                            kind=FRONTIER_COMMAND)
+    print(f"\nwrote {path}")
+    return 0
+
+
+def run_experiment_command(args) -> int:
+    from .runner import ExperimentTable, run_table
+    if args.table is None:
+        print("experiment: --table is required (a JSON/TOML factorial "
+              "run table; see docs/experiments.md)", file=sys.stderr)
+        return 2
+    try:
+        table = ExperimentTable.from_file(args.table)
+    except OSError as exc:
+        print(f"experiment: {exc}", file=sys.stderr)
+        return 2
+    except (RunConfigError, ValueError, KeyError) as exc:
+        print(f"experiment: {exc.args[0]}", file=sys.stderr)
+        return 2
+    out_dir = "bench-artifacts" if args.out is None else args.out
+    try:
+        rows, extra, path = run_table(
+            table, out_dir, resume=args.resume,
+            default_scale="fast" if args.fast else "default",
+            log=print)
+    except (RunConfigError, ValueError, KeyError, OSError) as exc:
+        message = (exc.args[0] if isinstance(exc, (ValueError, KeyError))
+                   else exc)
+        print(f"experiment: {message}", file=sys.stderr)
+        return 2
+    columns = list(dict.fromkeys(key for row in rows for key in row))
+    print_table(rows, columns=columns,
+                title=f"experiment {table.name}: {len(rows)} cells "
+                      f"({extra['executed']} executed, "
+                      f"{extra['resumed']} resumed)")
     print(f"\nwrote {path}")
     return 0
 
@@ -516,6 +424,7 @@ def main(argv=None) -> int:
             print(name)
         print(BENCH_COMMAND)
         print(CLUSTER_COMMAND)
+        print(EXPERIMENT_COMMAND)
         print(FRONTIER_COMMAND)
         print(SERVE_COMMAND)
         print(WORKLOADS_COMMAND)
@@ -530,6 +439,8 @@ def main(argv=None) -> int:
         return run_frontier_command(args, config)
     if args.figure == BENCH_COMMAND:
         return run_bench_command(args, config)
+    if args.figure == EXPERIMENT_COMMAND:
+        return run_experiment_command(args)
     if args.figure == "all":
         for name in sorted(EXPERIMENTS):
             run_figure(name, config, json_dir=args.json_out)
@@ -537,8 +448,8 @@ def main(argv=None) -> int:
     if args.figure not in EXPERIMENTS:
         known = ", ".join(sorted(EXPERIMENTS))
         print(f"unknown figure {args.figure!r}; expected one of: {known}, "
-              f"all, bench, serve, cluster, frontier, workloads, list",
-              file=sys.stderr)
+              f"all, bench, serve, cluster, experiment, frontier, "
+              f"workloads, list", file=sys.stderr)
         return 2
     run_figure(args.figure, config, json_dir=args.json_out)
     return 0

@@ -1,19 +1,17 @@
 """Open-loop cluster serving experiment behind ``cli cluster``.
 
-Glues the :mod:`repro.cluster` simulator to the harness surface: resolves
-the workload mix (default: a scene-skewed popular-content mix, the shape
-cache-affinity placement exploits), builds the arrival schedule and
-optional autoscaler from CLI-level knobs, and shapes the
-:class:`~repro.cluster.ClusterReport` into the (rows, summary) pair every
-harness experiment returns — rows per worker, summary for
-``BENCH_cluster.json``.
+Thin adapter over the experiment runner: :func:`run_cluster` describes
+one cluster run as a :class:`~.runconfig.RunConfig` cell and delegates
+to :func:`~.runner.execute_cell`, which owns the arrival-schedule /
+autoscaler / simulator glue (and the frame-economics columns) for every
+harness surface.  This module keeps the cluster-surface specifics: the
+default popularity-skewed mix and the probe-PSNR quality accounting.
 """
 
 from __future__ import annotations
 
-from ..cluster import Autoscaler, simulate_cluster
-from ..workloads import apply_slo
 from .configs import DEFAULT, ExperimentConfig
+from .runconfig import RunConfig
 
 __all__ = ["DEFAULT_CLUSTER_MIX", "run_cluster", "quality_summary"]
 
@@ -47,40 +45,20 @@ def run_cluster(config: ExperimentConfig = DEFAULT, mix=None,
     mean-PSNR quality accounting to the summary.  Runs are deterministic
     per seed.
     """
-    resolved_mix = apply_slo(mix if mix is not None else DEFAULT_CLUSTER_MIX,
-                             slo_fps)
-    autoscaler = None
-    if autoscale:
-        floor = 1 if min_workers is None else min_workers
-        ceiling = 2 * workers if max_workers is None else max_workers
-        # The autoscaler only moves the fleet between the bounds — it
-        # never provisions up to a floor above the initial fleet, and a
-        # ceiling below it would start the run permanently over limit —
-        # so the initial size must sit inside them.
-        if not floor <= workers <= ceiling:
-            raise ValueError(
-                f"initial workers ({workers}) must lie within "
-                f"min_workers..max_workers ({floor}..{ceiling})")
-        # Admission caps mean load per worker at queue_limit, so the
-        # scale-up threshold must sit below it or tight queues would shed
-        # every overload as rejects without ever growing the fleet.
-        up_load = min(2.0, 0.5 * queue_limit)
-        autoscaler = Autoscaler(
-            min_workers=floor, max_workers=ceiling,
-            up_load=up_load, down_load=min(0.25, up_load / 2),
-            scale_up_latency_s=scale_up_latency_s)
-    report = simulate_cluster(
-        resolved_mix, config, arrivals=arrivals, rate_hz=rate_hz,
-        duration_s=duration_s, seed=seed, workers=workers,
-        placement=placement, queue_limit=queue_limit, frames=frames,
-        autoscaler=autoscaler, use_cache=use_cache, trace=trace,
-        governor=governor)
-    summary = report.summary()
-    summary["scale_events"] = report.scale_events
-    if governor != "off":
-        summary["governor_events"] = report.governor_events
-        summary.update(quality_summary(resolved_mix, config, report))
-    return list(report.per_worker), summary
+    from .runner import execute_cell  # deferred: runner builds on this module
+    cell = RunConfig(
+        mode="cluster",
+        workloads=mix if isinstance(mix, str) else None,
+        arrivals=arrivals, rate_hz=rate_hz, duration_s=duration_s,
+        workers=workers, placement=placement, queue_limit=queue_limit,
+        frames=frames, seed=seed, trace=trace, use_cache=use_cache,
+        autoscale=autoscale, min_workers=min_workers,
+        max_workers=max_workers, scale_up_latency_s=scale_up_latency_s,
+        governor=governor, slo_fps=slo_fps)
+    result = execute_cell(
+        cell, config=config,
+        mix=mix if mix is not None and not isinstance(mix, str) else None)
+    return result.rows, result.summary
 
 
 def quality_summary(resolved_mix, config, report) -> dict:

@@ -1,675 +1,20 @@
-"""Experiment runners: one entry point per paper figure.
+"""Deprecated alias for :mod:`repro.harness.figures`.
 
-Each ``figNN_*`` function assembles the workload, runs the relevant models,
-and returns plain ``list[dict]`` rows (plus sometimes a summary dict) that
-the benchmarks print and assert on.  DESIGN.md's per-experiment index maps
-each figure to its runner.
+The paper-figure runners moved to ``repro.harness.figures`` so the
+"experiments" name belongs to the factorial experiment runner
+(:mod:`repro.harness.runner`).  This shim keeps old imports working one
+release; update ``from repro.harness.experiments import ...`` to
+``from repro.harness.figures import ...``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from functools import lru_cache
-
-import numpy as np
-
-from ..baselines.ds2 import DS2Renderer
-from ..baselines.temporal import TemporalWarpRenderer
-from ..core.layout.sram_layout import FeatureMajorLayout
-from ..core.sparw.disocclusion import overlap_fraction
-from ..core.sparw.pipeline import SparwRenderer, SparwSequenceResult
-from ..core.sparw.warp import warp_frame
-from ..core.streaming.scheduler import FullyStreamingScheduler
-from ..hw.gu import GatheringUnitModel, GUConfig
-from ..hw.remote import RemoteConfig, RemoteScenario
-from ..hw.rivals import NGPCModel, NeuRexModel
-from ..hw.soc import SoCModel, SparwWorkloads
-from ..hw.workload import FrameWorkload, workload_from_stats
-from ..memsys.cache import simulate_belady
-from ..memsys.trace import analyze_streaming, interleaved_gather_trace
-from ..metrics.quality import mean_psnr
-from ..scenes.library import SYNTHETIC_SCENES
-from ..workloads import WorkloadSpec
-from .configs import (
-    ALGORITHMS,
-    DEFAULT,
-    ExperimentConfig,
-    build_renderer,
-    ground_truth_sequence,
-    make_camera,
-)
-
-__all__ = [
-    "full_frame_profile", "sparw_workloads_from_result", "FrameProfile",
-    "figure_workload", "run_sparw",
-    "fig02_fps_model_size", "fig03_stage_breakdown", "fig04_nonstreaming",
-    "fig05_cache_miss", "fig06_bank_conflicts", "fig07_overlap",
-    "fig09_disocclusion", "fig16_quality", "fig17_gpu_speedup",
-    "fig18_gpu_distribution", "fig19_local_remote", "fig20_gather_speedup",
-    "fig21_memory_saving", "fig22_window_sensitivity", "fig23_vft_sweep",
-    "fig24_rivals", "fig25_fps_sensitivity", "fig26_phi_sweep",
-    "EXPERIMENTS",
-]
-
-
-# ---------------------------------------------------------------------------
-# Shared plumbing
-# ---------------------------------------------------------------------------
-
-@dataclass
-class FrameProfile:
-    """Everything the hardware model needs about one full-frame render."""
-
-    workload: FrameWorkload
-    conflict_slowdown: float
-    streaming_report: object
-    gather_groups: list
-    frame: object
-
-
-@lru_cache(maxsize=None)
-def _cached_profile(algorithm: str, scene_name: str,
-                    config: ExperimentConfig) -> FrameProfile:
-    trajectory, _ = ground_truth_sequence(scene_name, config)
-    renderer = build_renderer(algorithm, scene_name, config)
-    camera = make_camera(config, trajectory[0])
-    frame, out = renderer.render_frame(camera, record_gather=True)
-
-    scheduler = FullyStreamingScheduler(
-        buffer_bytes=config.vft_buffer_bytes,
-        baseline_cache_bytes=config.onchip_cache_bytes,
-        cache_block_bytes=config.cache_block_bytes)
-    report = scheduler.analyze(out.gather_groups)
-
-    layout = FeatureMajorLayout(num_banks=config.fig6_banks)
-    conflict = _simulate_feature_major(layout, out.gather_groups,
-                                       config.fig6_rays, max_samples=20000)
-
-    workload = workload_from_stats(out.stats, streaming_report=report,
-                                   conflict_slowdown=conflict.slowdown)
-    return FrameProfile(workload=workload,
-                        conflict_slowdown=conflict.slowdown,
-                        streaming_report=report,
-                        gather_groups=out.gather_groups,
-                        frame=frame)
-
-
-def _simulate_feature_major(layout: FeatureMajorLayout, groups: list,
-                            concurrent_rays: int, max_samples: int):
-    """Aggregate feature-major conflicts across gather groups.
-
-    Groups with different vertices-per-sample (planes vs vectors, levels)
-    are simulated separately and their cycle counts merged.
-    """
-    total = None
-    for group in groups:
-        stats = layout.simulate(group.vertex_ids[:max_samples],
-                                concurrent_rays=concurrent_rays)
-        total = stats if total is None else total.merge(stats)
-    return total
-
-
-def full_frame_profile(algorithm: str, scene_name: str = "lego",
-                       config: ExperimentConfig = DEFAULT) -> FrameProfile:
-    """Cached full-frame render + memory analysis for one algorithm/scene."""
-    return _cached_profile(algorithm, scene_name, config)
-
-
-def sparw_workloads_from_result(result: SparwSequenceResult,
-                                profile: FrameProfile,
-                                window: int) -> SparwWorkloads:
-    """Average per-frame SPARW workloads from a rendered sequence.
-
-    Sparse-path DRAM traffic is scaled from the full-frame profile by the
-    sample ratio (traffic tracks gathered samples to first order).
-    """
-    sparse = result.total_sparse_stats()
-    frames = max(result.num_frames, 1)
-    full = profile.workload
-
-    sample_ratio = (sparse.num_samples / max(full.num_samples, 1)) / frames
-    target = workload_from_stats(
-        _scale_stats(sparse, 1.0 / frames),
-        conflict_slowdown=profile.conflict_slowdown,
-        warp_points=int(np.mean([r.warp_points for r in result.records])))
-    target.baseline_traffic = full.baseline_traffic.scaled(sample_ratio)
-    target.streaming_traffic = full.streaming_traffic.scaled(sample_ratio)
-    target.rit_bytes = int(full.rit_bytes * sample_ratio)
-    return SparwWorkloads(target=target, reference=full, window=window)
-
-
-def _scale_stats(stats, factor: float):
-    from ..nerf.renderer import RenderStats
-    return RenderStats(
-        num_rays=int(stats.num_rays * factor),
-        num_samples=int(stats.num_samples * factor),
-        mlp_macs=int(stats.mlp_macs * factor),
-        gather_vertex_accesses=int(stats.gather_vertex_accesses * factor),
-        gather_bytes=int(stats.gather_bytes * factor),
-    )
-
-
-def figure_workload(algorithm: str, scene_name: str = "lego",
-                    window: int | None = None, policy: str = "extrapolated",
-                    phi: float | None = None,
-                    degrees_per_frame: float | None = None) -> WorkloadSpec:
-    """The figure harness's SPARW configuration as a declarative spec.
-
-    Figure experiments and the serving layer consume the same
-    :class:`WorkloadSpec` shape; an unset ``degrees_per_frame`` resolves to
-    the config scale's value at build time, keeping spec-built orbits
-    pose-identical to :func:`ground_truth_sequence` trajectories.
-    """
-    params = {}
-    if degrees_per_frame is not None:
-        params["degrees_per_frame"] = degrees_per_frame
-    return WorkloadSpec.make(
-        f"fig-{algorithm}-{scene_name}", scene=scene_name,
-        algorithm=algorithm, trajectory="orbit", window=window,
-        policy=policy, phi=phi, **params)
-
-
-@lru_cache(maxsize=None)
-def _cached_sparw_sequence(spec: WorkloadSpec, config: ExperimentConfig
-                           ) -> SparwSequenceResult:
-    return spec.run_solo(config)
-
-
-def run_sparw(algorithm: str, scene_name: str = "lego",
-              config: ExperimentConfig = DEFAULT, window: int | None = None,
-              policy: str = "extrapolated", phi: float | None = None,
-              degrees_per_frame: float | None = None) -> SparwSequenceResult:
-    """Cached SPARW sequence render of a figure workload spec."""
-    spec = figure_workload(algorithm, scene_name, window=window,
-                           policy=policy, phi=phi,
-                           degrees_per_frame=degrees_per_frame)
-    return _cached_sparw_sequence(spec, config)
-
-
-def _sequence_psnr(result_frames: list, gt_frames: list) -> float:
-    return mean_psnr([f.image for f in result_frames],
-                     [f.image for f in gt_frames])
-
-
-# ---------------------------------------------------------------------------
-# Sec. II characterisation (Figs. 2-7)
-# ---------------------------------------------------------------------------
-
-def fig02_fps_model_size(config: ExperimentConfig = DEFAULT,
-                         scene_name: str = "lego") -> list:
-    """Frame rate (simulated mobile GPU) vs model size per algorithm."""
-    from .configs import build_field
-    soc = SoCModel(feature_dim=config.feature_dim)
-    rows = []
-    for algorithm in ALGORITHMS:
-        field = build_field(algorithm, scene_name, config)
-        profile = full_frame_profile(algorithm, scene_name, config)
-        cost = soc.price_nerf(profile.workload, "gpu")
-        rows.append({
-            "algorithm": algorithm,
-            "model_mb": field.model_size_bytes / 1e6,
-            "fps": 1.0 / cost.time_s,
-            "frame_ms": cost.time_s * 1e3,
-        })
-    return rows
-
-
-def fig03_stage_breakdown(config: ExperimentConfig = DEFAULT,
-                          scene_name: str = "lego") -> list:
-    """Normalised I/G/F execution breakdown on the GPU."""
-    from ..hw.gpu import GPUModel
-    gpu = GPUModel()
-    rows = []
-    for algorithm in ALGORITHMS:
-        profile = full_frame_profile(algorithm, scene_name, config)
-        breakdown = gpu.frame_breakdown(profile.workload)
-        total = breakdown.total
-        rows.append({
-            "algorithm": algorithm,
-            "indexing": breakdown.indexing / total,
-            "gathering": breakdown.gathering / total,
-            "computation": breakdown.computation / total,
-        })
-    return rows
-
-
-def fig04_nonstreaming(config: ExperimentConfig = DEFAULT,
-                       scene_name: str = "lego") -> list:
-    """Non-streaming DRAM access fraction: pixel-centric vs fully-streaming."""
-    rows = []
-    for algorithm in ALGORITHMS:
-        profile = full_frame_profile(algorithm, scene_name, config)
-        trace = interleaved_gather_trace(profile.gather_groups)
-        coalesced = trace.coalesced(config.cache_block_bytes)
-        analysis = analyze_streaming(coalesced)
-        report = profile.streaming_report
-        rows.append({
-            "algorithm": algorithm,
-            "pixel_centric_nonstreaming": analysis.non_streaming_fraction,
-            "fully_streaming_nonstreaming": 1.0 - report.fs_streaming_fraction,
-        })
-    return rows
-
-
-def fig05_cache_miss(config: ExperimentConfig = DEFAULT,
-                     scene_name: str = "lego",
-                     max_accesses: int = 400_000) -> list:
-    """Oracle (Belady) miss rate of feature gathering with the 2 MB buffer."""
-    rows = []
-    for algorithm in ALGORITHMS:
-        profile = full_frame_profile(algorithm, scene_name, config)
-        trace = interleaved_gather_trace(profile.gather_groups)
-        addresses = trace.addresses[:max_accesses]
-        stats = simulate_belady(addresses, config.onchip_cache_bytes,
-                                block_bytes=config.cache_block_bytes)
-        rows.append({
-            "algorithm": algorithm,
-            "oracle_miss_rate": stats.miss_rate,
-            "accesses": int(len(addresses)),
-        })
-    return rows
-
-
-def fig06_bank_conflicts(config: ExperimentConfig = DEFAULT,
-                         scene_name: str = "lego",
-                         max_samples: int = 30_000) -> list:
-    """Feature-major bank-conflict rate (16 banks / 16 rays) per algorithm."""
-    from ..core.layout.sram_layout import ChannelMajorLayout
-    rows = []
-    for algorithm in ALGORITHMS:
-        profile = full_frame_profile(algorithm, scene_name, config)
-        feature_major = FeatureMajorLayout(num_banks=config.fig6_banks)
-        fm16 = _simulate_feature_major(feature_major, profile.gather_groups,
-                                       config.fig6_rays, max_samples)
-        fm64 = _simulate_feature_major(feature_major, profile.gather_groups,
-                                       64, max_samples)
-        channel_major = ChannelMajorLayout(feature_dim=config.feature_dim)
-        cm = channel_major.simulate(profile.gather_groups[0].vertex_ids[:8000])
-        rows.append({
-            "algorithm": algorithm,
-            "feature_major_16rays": fm16.conflict_rate,
-            "feature_major_64rays": fm64.conflict_rate,
-            "channel_major": cm.conflict_rate,
-        })
-    return rows
-
-
-def fig07_overlap(config: ExperimentConfig = DEFAULT,
-                  scene_names: tuple = None) -> list:
-    """Adjacent-frame overlap fraction across the synthetic suite."""
-    names = scene_names or tuple(sorted(SYNTHETIC_SCENES))
-    rows = []
-    for name in names:
-        trajectory, gt_frames = ground_truth_sequence(name, config)
-        camera = make_camera(config)
-        overlaps = []
-        for i in range(len(gt_frames) - 1):
-            warp = warp_frame(gt_frames[i], camera.with_pose(trajectory[i]),
-                              camera.with_pose(trajectory[i + 1]))
-            overlaps.append(overlap_fraction(warp))
-        rows.append({
-            "scene": name,
-            "overlap_mean": float(np.mean(overlaps)),
-            "overlap_std": float(np.std(overlaps)),
-        })
-    return rows
-
-
-def fig09_disocclusion(config: ExperimentConfig = DEFAULT,
-                       scene_name: str = "lego",
-                       algorithm: str = "directvoxgo") -> dict:
-    """Naive warping vs SPARW: hole counts and quality on one frame pair."""
-    trajectory, gt_frames = ground_truth_sequence(scene_name, config)
-    renderer = build_renderer(algorithm, scene_name, config)
-    camera = make_camera(config)
-    mid = len(trajectory.poses) // 2
-
-    reference, _ = renderer.render_frame(camera.with_pose(trajectory[0]))
-    warp = warp_frame(reference, camera.with_pose(trajectory[0]),
-                      camera.with_pose(trajectory[mid]))
-    sparw = SparwRenderer(renderer, camera, window=mid + 1)
-    frame, _, classification, _ = sparw.render_target(reference,
-                                                      trajectory[mid])
-    gt = gt_frames[mid].image
-    naive = np.where(warp.hole_mask[..., None],
-                     np.zeros_like(warp.image), warp.image)
-    return {
-        "hole_pixels_naive": int(warp.hole_mask.sum()),
-        "hole_pixels_sparw": 0,
-        "disoccluded_fraction": classification.disoccluded_fraction,
-        "psnr_naive": mean_psnr([naive], [gt]),
-        "psnr_sparw": mean_psnr([frame.image], [gt]),
-    }
-
-
-# ---------------------------------------------------------------------------
-# Quality (Figs. 16, 25) and software results (Figs. 17, 18)
-# ---------------------------------------------------------------------------
-
-def _baseline_sequence(algorithm, scene_name, config,
-                       degrees_per_frame=None) -> list:
-    renderer = build_renderer(algorithm, scene_name, config)
-    camera = make_camera(config)
-    trajectory, _ = ground_truth_sequence(scene_name, config,
-                                          degrees_per_frame=degrees_per_frame)
-    return [renderer.render_frame(camera.with_pose(p))[0]
-            for p in trajectory.poses]
-
-
-def fig16_quality(config: ExperimentConfig = DEFAULT,
-                  scene_names: tuple = ("lego", "materials"),
-                  algorithms: tuple = ALGORITHMS,
-                  windows: tuple = (6, 16)) -> list:
-    """PSNR of baseline / Cicero-N / DS-2 / TEMP-16 per algorithm+scene."""
-    rows = []
-    for algorithm in algorithms:
-        for scene_name in scene_names:
-            trajectory, gt = ground_truth_sequence(scene_name, config)
-            renderer = build_renderer(algorithm, scene_name, config)
-            camera = make_camera(config)
-
-            row = {"algorithm": algorithm, "scene": scene_name}
-            baseline = _baseline_sequence(algorithm, scene_name, config)
-            row["baseline"] = _sequence_psnr(baseline, gt)
-            for window in windows:
-                result = run_sparw(algorithm, scene_name, config,
-                                   window=window)
-                row[f"cicero_{window}"] = _sequence_psnr(result.frames, gt)
-            ds2 = DS2Renderer(renderer, camera)
-            ds2_frames, _ = ds2.render_sequence(trajectory.poses)
-            row["ds2"] = _sequence_psnr(ds2_frames, gt)
-            temp = TemporalWarpRenderer(renderer, camera, window=16)
-            temp_result = temp.render_sequence(trajectory.poses)
-            row["temp16"] = _sequence_psnr(temp_result.frames, gt)
-            rows.append(row)
-    return rows
-
-
-def fig17_gpu_speedup(config: ExperimentConfig = DEFAULT,
-                      scene_name: str = "lego",
-                      window: int = 16) -> list:
-    """Pure-software Cicero vs DS-2: speed-up and energy saving on the GPU."""
-    soc = SoCModel(feature_dim=config.feature_dim)
-    rows = []
-    for algorithm in ALGORITHMS:
-        profile = full_frame_profile(algorithm, scene_name, config)
-        base = soc.price_nerf(profile.workload, "gpu")
-
-        result = run_sparw(algorithm, scene_name, config, window=window)
-        wls = sparw_workloads_from_result(result, profile, window)
-        cicero = soc.price_sparw_local(wls, "gpu")
-
-        # DS-2 renders every frame at quarter ray count.
-        ds2 = soc.price_nerf(profile.workload.scaled(0.25), "gpu")
-        rows.append({
-            "algorithm": algorithm,
-            "cicero_speedup": base.time_s / cicero.time_s,
-            "cicero_energy_saving": base.energy_j / cicero.energy_j,
-            "ds2_speedup": base.time_s / ds2.time_s,
-            "ds2_energy_saving": base.energy_j / ds2.energy_j,
-        })
-    return rows
-
-
-def fig18_gpu_distribution(config: ExperimentConfig = DEFAULT,
-                           scene_name: str = "lego",
-                           algorithm: str = "instant_ngp",
-                           windows: tuple = (6, 16)) -> list:
-    """GPU execution-time distribution of Cicero-N (full/sparse/warp)."""
-    soc = SoCModel(feature_dim=config.feature_dim)
-    rows = []
-    profile = full_frame_profile(algorithm, scene_name, config)
-    for window in windows:
-        result = run_sparw(algorithm, scene_name, config, window=window)
-        wls = sparw_workloads_from_result(result, profile, window)
-        full_cost = soc.price_nerf(wls.reference, "gpu").scaled(1.0 / window)
-        target_cost = soc.price_nerf(wls.target, "gpu")
-        warp_time = target_cost.stage_times.get("warping", 0.0)
-        sparse_time = target_cost.time_s - warp_time
-        total = full_cost.time_s + target_cost.time_s
-        rows.append({
-            "config": f"cicero_{window}",
-            "full_frame_nerf": full_cost.time_s / total,
-            "sparse_nerf": sparse_time / total,
-            "others": warp_time / total,
-        })
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# Architecture results (Figs. 19-24)
-# ---------------------------------------------------------------------------
-
-def fig19_local_remote(config: ExperimentConfig = DEFAULT,
-                       scene_name: str = "lego",
-                       window: int = 16) -> list:
-    """End-to-end speed-up/energy of SPARW / +FS / Cicero, local and remote."""
-    soc = SoCModel(feature_dim=config.feature_dim)
-    frame_bytes = config.image_size * config.image_size * 4
-    remote = RemoteScenario(soc, RemoteConfig())
-    rows = []
-    for algorithm in ALGORITHMS:
-        profile = full_frame_profile(algorithm, scene_name, config)
-        result = run_sparw(algorithm, scene_name, config, window=window)
-        wls = sparw_workloads_from_result(result, profile, window)
-
-        base_local = soc.price_nerf(profile.workload, "baseline")
-        base_remote = remote.price_baseline_remote(profile.workload,
-                                                   frame_bytes)
-        row = {"algorithm": algorithm}
-        for variant in ("sparw", "sparw_fs", "cicero"):
-            local = soc.price_sparw_local(wls, variant)
-            row[f"{variant}_speedup"] = base_local.time_s / local.time_s
-            row[f"{variant}_energy"] = local.energy_j / base_local.energy_j
-            rem = remote.price_sparw_remote(wls, variant, frame_bytes)
-            row[f"{variant}_remote_speedup"] = base_remote.time_s / rem.time_s
-            row[f"{variant}_remote_energy"] = rem.energy_j / max(
-                base_remote.energy_j, 1e-12)
-        rows.append(row)
-    return rows
-
-
-def fig20_gather_speedup(config: ExperimentConfig = DEFAULT,
-                         scene_name: str = "lego") -> list:
-    """Feature-gathering speed-up and energy saving of the GU over the GPU."""
-    from ..hw.gpu import GPUModel
-    gpu = GPUModel()
-    gu = GatheringUnitModel(GUConfig(vft_bytes=config.vft_buffer_bytes),
-                            feature_dim=config.feature_dim)
-    rows = []
-    for algorithm in ALGORITHMS:
-        profile = full_frame_profile(algorithm, scene_name, config)
-        gpu_time = gpu.gathering_time(profile.workload)
-        gpu_energy = (gpu_time * gpu.config.average_power_w)
-        cost = gu.gather_cost(profile.workload)
-        rows.append({
-            "algorithm": algorithm,
-            "gather_speedup": gpu_time / cost.time_s,
-            "gather_energy_saving": gpu_energy / cost.energy_j,
-            "conflict_slowdown_removed": profile.conflict_slowdown,
-        })
-    return rows
-
-
-def fig21_memory_saving(config: ExperimentConfig = DEFAULT,
-                        scene_name: str = "lego") -> list:
-    """DRAM energy-saving split: traffic reduction vs random->stream.
-
-    For each algorithm the saving decomposes against a counterfactual that
-    moves the same fully-streaming byte volume but at random-access cost.
-    Algorithms whose hashed levels revert (Instant-NGP) can see fs traffic
-    exceed the cached baseline at reproduction scale; their shares are
-    reported as-is (negative traffic share, >1 streaming share).
-    """
-    from ..memsys.energy import DEFAULT_ENERGY as e
-    rows = []
-    for algorithm in ALGORITHMS:
-        report = full_frame_profile(algorithm, scene_name,
-                                    config).streaming_report
-        base = e.dram_energy(report.baseline_streaming_bytes,
-                             report.baseline_random_bytes)
-        fs = e.dram_energy(report.fs_streaming_bytes, report.fs_random_bytes)
-        # Counterfactual: same (reduced) traffic volume but still random.
-        reduced_random = e.dram_energy(0.0, report.fs_bytes)
-        saving = base - fs
-        denom = saving if abs(saving) > 1e-18 else 1e-18
-        rows.append({
-            "algorithm": algorithm,
-            "traffic_reduction": report.traffic_reduction,
-            "dram_energy_saving": base / max(fs, 1e-18),
-            "from_traffic_reduction": (base - reduced_random) / denom,
-            "from_streaming": (reduced_random - fs) / denom,
-        })
-    return rows
-
-
-def fig22_window_sensitivity(config: ExperimentConfig = DEFAULT,
-                             scene_name: str = "lego",
-                             algorithm: str = "instant_ngp",
-                             windows: tuple = (1, 6, 11, 16, 21, 26)) -> list:
-    """Speed-up and PSNR vs warping-window size (local + remote)."""
-    soc = SoCModel(feature_dim=config.feature_dim)
-    remote = RemoteScenario(soc, RemoteConfig())
-    frame_bytes = config.image_size * config.image_size * 4
-    profile = full_frame_profile(algorithm, scene_name, config)
-    base_local = soc.price_nerf(profile.workload, "baseline")
-    base_remote = remote.price_baseline_remote(profile.workload, frame_bytes)
-    _, gt = ground_truth_sequence(scene_name, config)
-
-    rows = []
-    for window in windows:
-        result = run_sparw(algorithm, scene_name, config, window=window)
-        wls = sparw_workloads_from_result(result, profile, window)
-        local = soc.price_sparw_local(wls, "cicero")
-        rem = remote.price_sparw_remote(wls, "cicero", frame_bytes)
-        rows.append({
-            "window": window,
-            "local_speedup": base_local.time_s / local.time_s,
-            "remote_speedup": base_remote.time_s / rem.time_s,
-            "psnr": _sequence_psnr(result.frames, gt),
-            "disoccluded_fraction": result.mean_disoccluded_fraction(),
-        })
-    return rows
-
-
-def fig23_vft_sweep(config: ExperimentConfig = DEFAULT,
-                    scene_name: str = "lego",
-                    algorithm: str = "directvoxgo",
-                    sizes_kb: tuple = (8, 16, 32, 64, 128, 256)) -> list:
-    """GU energy sensitivity to VFT buffer size."""
-    profile = full_frame_profile(algorithm, scene_name, config)
-    rows = []
-    for size_kb in sizes_kb:
-        gu = GatheringUnitModel(GUConfig(vft_bytes=size_kb * 1024),
-                                feature_dim=config.feature_dim)
-        cost = gu.gather_cost(profile.workload)
-        rows.append({"vft_kb": size_kb, "gu_energy_j": cost.energy_j})
-    base = next(r for r in rows if r["vft_kb"] == 32)["gu_energy_j"]
-    for row in rows:
-        row["normalized_energy"] = row["gu_energy_j"] / base
-    return rows
-
-
-def fig24_rivals(config: ExperimentConfig = DEFAULT,
-                 scene_name: str = "lego",
-                 window: int = 16) -> list:
-    """Cicero vs NeuRex vs NGPC on Instant-NGP, normalised to the GPU."""
-    algorithm = "instant_ngp"
-    soc = SoCModel(feature_dim=config.feature_dim)
-    profile = full_frame_profile(algorithm, scene_name, config)
-    gpu_base = soc.price_nerf(profile.workload, "gpu")
-
-    neurex = NeuRexModel().price_frame(profile.workload)
-    ngpc = NGPCModel().price_frame(profile.workload)
-    cicero_nosparw = soc.price_nerf(profile.workload, "cicero")
-    result = run_sparw(algorithm, scene_name, config, window=window)
-    wls = sparw_workloads_from_result(result, profile, window)
-    cicero = soc.price_sparw_local(wls, "cicero")
-
-    rows = [
-        {"design": "neurex", "speedup_vs_gpu": gpu_base.time_s / neurex.time_s},
-        {"design": "ngpc", "speedup_vs_gpu": gpu_base.time_s / ngpc.time_s},
-        {"design": "cicero_no_sparw",
-         "speedup_vs_gpu": gpu_base.time_s / cicero_nosparw.time_s},
-        {"design": "cicero", "speedup_vs_gpu": gpu_base.time_s / cicero.time_s},
-    ]
-    return rows
-
-
-# ---------------------------------------------------------------------------
-# Real-world sensitivity (Figs. 25-26)
-# ---------------------------------------------------------------------------
-
-def fig25_fps_sensitivity(config: ExperimentConfig = DEFAULT,
-                          scene_name: str = "ignatius",
-                          algorithm: str = "directvoxgo",
-                          windows: tuple = (6, 16)) -> list:
-    """PSNR on the real-world scene at sparse (1 FPS) vs dense (30 FPS) capture.
-
-    1 FPS capture means 30x larger pose deltas between consecutive frames;
-    we sweep ``degrees_per_frame`` accordingly (0.5 deg at 30 FPS -> 15 deg
-    at 1 FPS).
-    """
-    rows = []
-    for label, dpf in (("dense_30fps", config.degrees_per_frame),
-                       ("sparse_1fps", config.degrees_per_frame * 30.0)):
-        _, gt = ground_truth_sequence(scene_name, config,
-                                      degrees_per_frame=dpf)
-        baseline = _baseline_sequence(algorithm, scene_name, config,
-                                      degrees_per_frame=dpf)
-        row = {"capture": label, "baseline": _sequence_psnr(baseline, gt)}
-        for window in windows:
-            result = run_sparw(algorithm, scene_name, config, window=window,
-                               degrees_per_frame=dpf)
-            row[f"cicero_{window}"] = _sequence_psnr(result.frames, gt)
-        rows.append(row)
-    return rows
-
-
-def fig26_phi_sweep(config: ExperimentConfig = DEFAULT,
-                    scene_name: str = "ignatius",
-                    algorithm: str = "directvoxgo",
-                    window: int = 16,
-                    phis: tuple = (1.0, 2.0, 4.0, 8.0, 16.0, None)) -> list:
-    """Speed-up and PSNR vs warping threshold phi on the sparse sequence."""
-    dpf = config.degrees_per_frame * 30.0  # 1 FPS capture
-    soc = SoCModel(feature_dim=config.feature_dim)
-    profile = full_frame_profile(algorithm, scene_name, config)
-    base = soc.price_nerf(profile.workload, "baseline")
-    _, gt = ground_truth_sequence(scene_name, config, degrees_per_frame=dpf)
-
-    rows = []
-    for phi in phis:
-        result = run_sparw(algorithm, scene_name, config, window=window,
-                           phi=phi, degrees_per_frame=dpf)
-        wls = sparw_workloads_from_result(result, profile, window)
-        cost = soc.price_sparw_local(wls, "cicero")
-        rows.append({
-            "phi_deg": "none" if phi is None else phi,
-            "speedup": base.time_s / cost.time_s,
-            "psnr": _sequence_psnr(result.frames, gt),
-            "warped_fraction": result.mean_warped_fraction(),
-        })
-    return rows
-
-
-EXPERIMENTS = {
-    "fig02": fig02_fps_model_size,
-    "fig03": fig03_stage_breakdown,
-    "fig04": fig04_nonstreaming,
-    "fig05": fig05_cache_miss,
-    "fig06": fig06_bank_conflicts,
-    "fig07": fig07_overlap,
-    "fig09": fig09_disocclusion,
-    "fig16": fig16_quality,
-    "fig17": fig17_gpu_speedup,
-    "fig18": fig18_gpu_distribution,
-    "fig19": fig19_local_remote,
-    "fig20": fig20_gather_speedup,
-    "fig21": fig21_memory_saving,
-    "fig22": fig22_window_sensitivity,
-    "fig23": fig23_vft_sweep,
-    "fig24": fig24_rivals,
-    "fig25": fig25_fps_sensitivity,
-    "fig26": fig26_phi_sweep,
-}
+import warnings
+
+from .figures import *  # noqa: F401,F403
+from .figures import __all__  # noqa: F401
+
+warnings.warn(
+    "repro.harness.experiments is deprecated; the figure runners now "
+    "live in repro.harness.figures (the factorial experiment runner is "
+    "repro.harness.runner)", DeprecationWarning, stacklevel=2)

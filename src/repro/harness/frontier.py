@@ -5,18 +5,21 @@ per (mode, rate) cell, what the cluster traded: admitted rate, tail frame
 latency, and frame-weighted mean probe PSNR.  ``off`` can only queue or
 reject, ``static`` buys throughput by pinning every workload at its
 minimum tier, and ``adaptive`` walks the frontier between them —
-degrading exactly when load demands it.  Every run shares one seed and
-mix, so cells differ only in the knob under study; the rows land in
-``BENCH_frontier.json``.
+degrading exactly when load demands it.
+
+The sweep is a factorial experiment: every (mode, rate) cell is a
+:class:`~.runconfig.RunConfig` executed through
+:func:`~.runner.execute_cell`, the same engine behind ``cli experiment``
+— so a checked-in table with the same axes reproduces these rows bit for
+bit.  Every run shares one seed and mix, so cells differ only in the
+knob under study; the rows land in ``BENCH_frontier.json``.
 """
 
 from __future__ import annotations
 
-from ..cluster import simulate_cluster
 from ..control import GOVERNOR_MODES
-from ..workloads import apply_slo
-from .cluster import DEFAULT_CLUSTER_MIX, quality_summary
 from .configs import DEFAULT, ExperimentConfig
+from .runconfig import RunConfig
 
 __all__ = ["DEFAULT_FRONTIER_RATES", "run_frontier"]
 
@@ -37,10 +40,12 @@ def run_frontier(config: ExperimentConfig = DEFAULT, mix=None,
     """Sweep (governor mode x offered load); returns (rows, summary).
 
     One row per cell: offered/admitted counts, reject rate, p99 frame
-    latency, mean quality level, and probe mean-PSNR.  The summary pairs
-    each mode's aggregate admitted rate with its mean PSNR — the frontier
-    the governor is supposed to bend.
+    latency, mean quality level, probe mean-PSNR, and the J/frame and
+    $/frame economics columns.  The summary pairs each mode's aggregate
+    admitted rate with its mean PSNR — the frontier the governor is
+    supposed to bend.
     """
+    from .runner import execute_cell  # deferred: runner builds on harness
     rates = tuple(float(r) for r in rates)
     if not rates or any(r <= 0 for r in rates):
         raise ValueError("rates must be a non-empty tuple of positive "
@@ -50,48 +55,32 @@ def run_frontier(config: ExperimentConfig = DEFAULT, mix=None,
         if mode not in GOVERNOR_MODES:
             raise ValueError(f"unknown governor mode {mode!r}; "
                              f"one of {GOVERNOR_MODES}")
-    resolved_mix = apply_slo(mix if mix is not None else DEFAULT_CLUSTER_MIX,
-                             slo_fps)
+    base = RunConfig(
+        mode="cluster",
+        workloads=mix if isinstance(mix, str) else None,
+        arrivals="poisson", duration_s=duration_s, workers=workers,
+        placement=placement, queue_limit=queue_limit, frames=frames,
+        seed=seed, slo_fps=slo_fps, use_cache=use_cache)
+    mix_override = (mix if mix is not None and not isinstance(mix, str)
+                    else None)
     rows = []
+    mix_label = ""
     per_mode: dict = {}
     for mode in modes:
         for rate in rates:
-            report = simulate_cluster(
-                resolved_mix, config, arrivals="poisson", rate_hz=rate,
-                duration_s=duration_s, seed=seed, workers=workers,
-                placement=placement, queue_limit=queue_limit,
-                frames=frames, governor=mode, slo_fps=slo_fps,
-                use_cache=use_cache)
-            quality = quality_summary(resolved_mix, config, report)
-            offered = report.arrivals_total
-            row = {
-                "governor": mode,
-                "offered_rate_hz": rate,
-                "offered": offered,
-                "admitted": report.admitted,
-                "admitted_rate": (report.admitted / offered
-                                  if offered else 0.0),
-                "reject_rate": report.reject_rate,
-                "p99_latency_ms": report.p99_latency_s * 1e3,
-                "mean_latency_ms": report.mean_latency_s * 1e3,
-                "aggregate_fps": report.aggregate_fps,
-                "mean_quality_level": report.mean_quality_level,
-                "tier_transitions": report.tier_transitions,
-                "overflow_admissions": report.overflow_admissions,
-                "mean_psnr": quality["mean_psnr"],
-                "min_workload_psnr": quality["min_workload_psnr"],
-                "quality_floor_ok": quality["quality_floor_ok"],
-            }
-            rows.append(row)
+            cell = base.with_updates(governor=mode, rate_hz=rate,
+                                     label=f"governor={mode},rate_hz={rate}")
+            result = execute_cell(cell, config=config, mix=mix_override)
+            rows.append(result.row)
+            mix_label = result.mix_label
             bucket = per_mode.setdefault(mode, {"offered": 0, "admitted": 0,
                                                 "psnr_sum": 0.0, "cells": 0})
-            bucket["offered"] += offered
-            bucket["admitted"] += report.admitted
-            bucket["psnr_sum"] += quality["mean_psnr"]
+            bucket["offered"] += result.row["offered"]
+            bucket["admitted"] += result.row["admitted"]
+            bucket["psnr_sum"] += result.row["mean_psnr"]
             bucket["cells"] += 1
     summary = {
-        "mix": ",".join(f"{spec.name}:{count}"
-                        for spec, count in resolved_mix),
+        "mix": mix_label,
         "rates_hz": list(rates),
         "duration_s": duration_s,
         "workers": workers,

@@ -13,8 +13,9 @@ import dataclasses
 import json
 from pathlib import Path
 
-__all__ = ["format_table", "print_table", "format_value", "jsonable",
-           "safe_json_dumps", "bench_payload", "write_bench_json"]
+__all__ = ["SCHEMA_VERSION", "format_table", "print_table", "format_value",
+           "jsonable", "safe_json_dumps", "bench_payload",
+           "write_bench_json"]
 
 
 def format_value(value, precision: int = 3) -> str:
@@ -105,11 +106,25 @@ def safe_json_dumps(payload, **kwargs) -> str:
     return json.dumps(jsonable(payload), allow_nan=False, **kwargs)
 
 
+# Version 2 added "schema_version" (replacing v1's bare "schema") and
+# "kind"; bump on any change that breaks artifact consumers
+# (compare_bench.py refuses versions it does not understand).
+SCHEMA_VERSION = 2
+
+
 def bench_payload(name: str, rows: list, wall_time_s: float,
-                  config=None, extra: dict | None = None) -> dict:
-    """The JSON document persisted for one figure/experiment run."""
+                  config=None, extra: dict | None = None,
+                  kind: str = "figure") -> dict:
+    """The JSON document persisted for one figure/experiment run.
+
+    ``kind`` says which harness surface produced the artifact
+    (``figure``, ``serve``, ``cluster``, ``frontier``, ``perf``,
+    ``experiment``, ``experiment-cell``) so consumers can dispatch
+    without parsing the name.
+    """
     payload = {
-        "schema": 1,
+        "schema_version": SCHEMA_VERSION,
+        "kind": str(kind),
         "figure": name,
         "wall_time_s": float(wall_time_s),
         "rows": _jsonable(rows),
@@ -122,13 +137,18 @@ def bench_payload(name: str, rows: list, wall_time_s: float,
 
 
 def write_bench_json(directory, name: str, rows: list, wall_time_s: float,
-                     config=None, extra: dict | None = None) -> Path:
-    """Write ``BENCH_<name>.json`` under ``directory``; returns the path."""
+                     config=None, extra: dict | None = None,
+                     kind: str = "figure") -> Path:
+    """Write ``BENCH_<name>.json`` under ``directory``; returns the path.
+
+    This is the single entry point every BENCH artifact goes through —
+    all of them carry ``schema_version`` and ``kind``.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"BENCH_{name}.json"
     payload = bench_payload(name, rows, wall_time_s, config=config,
-                            extra=extra)
+                            extra=extra, kind=kind)
     path.write_text(safe_json_dumps(payload, indent=2, sort_keys=True)
                     + "\n")
     return path

@@ -1,0 +1,342 @@
+"""Declarative run configuration: one experiment cell, one validator.
+
+A :class:`RunConfig` is the frozen, JSON/TOML-loadable description of a
+single harness run ("cell"): workload mix, arrival process, fleet size,
+placement, governor mode, SLO, seed.  Every harness entry point —
+``cli serve``, ``cli cluster``, ``cli frontier``, and the factorial
+``cli experiment`` runner — constructs one of these and routes it
+through :func:`RunConfig.validate`, so conflicting knob combinations
+fail with the *same* message and exit code no matter which command
+surfaced them.
+
+The config is content-addressed: :meth:`RunConfig.config_hash` digests
+the canonical JSON of every result-affecting field, which is what the
+experiment runner's ``--resume`` compares against persisted per-cell
+artifacts (a cell re-runs iff its config changed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+
+from ..cluster import ARRIVAL_KINDS, PLACEMENTS
+from ..control import GOVERNOR_MODES
+from ..hw.soc import VARIANTS
+from ..workloads import parse_mix
+from .configs import ALGORITHMS, DEFAULT, FAST, scene_of
+
+__all__ = ["MODES", "SCALES", "SCHEDULERS", "RunConfig", "RunConfigError",
+           "from_cli_args", "parse_rates"]
+
+MODES = ("serve", "cluster")
+SCALES = ("default", "fast")
+SCHEDULERS = ("round_robin", "deadline")
+
+# The option families the commands share only partially; used both to
+# validate cells and to phrase the cross-command rejection messages.
+_SERVE_ONLY = ("scenes", "algorithm", "variant", "sessions", "scheduler",
+               "ray_budget")
+_SERVE_ONLY_FLAGS = ("--scene/--algorithm/--variant/--sessions/"
+                     "--scheduler/--ray-budget")
+
+
+class RunConfigError(ValueError):
+    """A run configuration that must be rejected, with a user-facing
+    message in ``args[0]`` (the CLI prints it verbatim and exits 2)."""
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One cell of an experiment: everything a run needs, and nothing
+    resolved from ambient state.
+
+    Fields default to "unset" (``None``) wherever the executing harness
+    owns the default, so a table stays minimal and the experiment
+    defaults live in exactly one place (the ``run_serve``/``run_cluster``
+    signatures).  ``label`` is cosmetic (excluded from the config hash);
+    ``repetition`` distinguishes factorial repetitions (each offsets the
+    seed by its index).
+    """
+
+    mode: str = "cluster"
+    scale: str | None = None  # "default" | "fast" | None (runner decides)
+    label: str | None = None
+    repetition: int = 0
+
+    # Shared knobs.
+    workloads: str | None = None
+    frames: int | None = None
+    seed: int = 0
+    governor: str = "off"
+    slo_fps: float | None = None
+    use_cache: bool = True
+
+    # Serve-only knobs.
+    sessions: int | None = None
+    scheduler: str | None = None
+    variant: str | None = None
+    scenes: tuple = ()
+    algorithm: str | None = None
+    ray_budget: int | None = None
+
+    # Cluster-only knobs.
+    arrivals: str | None = None
+    rate_hz: float | None = None
+    duration_s: float | None = None
+    workers: int | None = None
+    placement: str | None = None
+    queue_limit: int | None = None
+    trace: str | None = None
+    autoscale: bool = False
+    min_workers: int | None = None
+    max_workers: int | None = None
+    scale_up_latency_s: float | None = None
+
+    # -- construction / serialisation -----------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunConfig":
+        """Build (and validate shape of) a config from a plain dict."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise RunConfigError(
+                f"unknown RunConfig field(s) {', '.join(unknown)}; "
+                f"known fields: {', '.join(sorted(known))}")
+        coerced = dict(data)
+        if "scenes" in coerced and coerced["scenes"] is not None:
+            coerced["scenes"] = tuple(coerced["scenes"])
+        return cls(**coerced)
+
+    def to_dict(self) -> dict:
+        """Plain-JSON dict of every field (tuples become lists)."""
+        out = dataclasses.asdict(self)
+        out["scenes"] = list(self.scenes)
+        return out
+
+    def with_updates(self, **updates) -> "RunConfig":
+        """A copy with ``updates`` applied (frozen-dataclass replace)."""
+        return dataclasses.replace(self, **updates)
+
+    def config_hash(self) -> str:
+        """SHA-256 of the canonical JSON of result-affecting fields.
+
+        ``label`` is display-only and excluded, so renaming a cell never
+        forces a re-run under ``--resume``.
+        """
+        hashed = self.to_dict()
+        hashed.pop("label")
+        canonical = json.dumps(hashed, sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def experiment_config(self, default_scale: str = "default"):
+        """The :class:`ExperimentConfig` scale this cell runs at."""
+        scale = self.scale if self.scale is not None else default_scale
+        return FAST if scale == "fast" else DEFAULT
+
+    # -- validation ------------------------------------------------------------
+
+    def validate(self) -> "RunConfig":
+        """Raise :class:`RunConfigError` on any invalid/conflicting knob
+        combination; returns ``self`` so calls chain."""
+        if self.mode not in MODES:
+            raise RunConfigError(
+                f"unknown mode {self.mode!r}; one of {MODES}")
+        if self.scale is not None and self.scale not in SCALES:
+            raise RunConfigError(
+                f"unknown scale {self.scale!r}; one of {SCALES}")
+        if self.repetition < 0:
+            raise RunConfigError("repetition must be >= 0")
+        self._validate_shared()
+        if self.mode == "serve":
+            self._validate_serve()
+        else:
+            self._validate_cluster()
+        return self
+
+    def _validate_shared(self) -> None:
+        if self.frames is not None and self.frames < 1:
+            raise RunConfigError("--frames must be >= 1")
+        if self.slo_fps is not None and self.slo_fps <= 0:
+            raise RunConfigError("--slo must be > 0")
+        if self.governor not in GOVERNOR_MODES:
+            raise RunConfigError(f"unknown governor {self.governor!r}; "
+                                 f"one of {GOVERNOR_MODES}")
+        if self.workloads is not None:
+            try:
+                parse_mix(self.workloads)
+            except (KeyError, ValueError) as exc:
+                raise RunConfigError(exc.args[0]) from None
+
+    def _validate_serve(self) -> None:
+        cluster_only = [
+            flag for flag, value in (
+                ("--arrivals", self.arrivals),
+                ("--rate", self.rate_hz),
+                ("--duration", self.duration_s),
+                ("--workers", self.workers),
+                ("--placement", self.placement),
+                ("--queue-limit", self.queue_limit),
+                ("--trace", self.trace),
+                ("--autoscale", self.autoscale or None),
+                ("--min-workers", self.min_workers),
+                ("--max-workers", self.max_workers),
+                ("--scale-up-latency", self.scale_up_latency_s),
+            ) if value is not None]
+        if cluster_only:
+            raise RunConfigError(
+                f"{'/'.join(cluster_only)} "
+                f"{'is a cluster-only option' if len(cluster_only) == 1 else 'are cluster-only options'}")
+        if self.ray_budget is not None and self.ray_budget < 1:
+            raise RunConfigError("--ray-budget must be >= 1")
+        if self.scheduler is not None and self.scheduler not in SCHEDULERS:
+            raise RunConfigError(f"unknown scheduler {self.scheduler!r}; "
+                                 f"one of {SCHEDULERS}")
+        if self.workloads is not None:
+            if (self.scenes or self.algorithm is not None
+                    or self.variant is not None or self.sessions is not None):
+                raise RunConfigError(
+                    "--workload cannot be combined with --scene/"
+                    "--algorithm/--variant/--sessions (the specs and mix "
+                    "counts fix them)")
+            return
+        if self.governor != "off":
+            raise RunConfigError(
+                "--governor needs --workload mixes (the legacy "
+                "scene-cycling sessions carry no SLO fields)")
+        if self.sessions is not None and self.sessions < 1:
+            raise RunConfigError("--sessions must be >= 1")
+        if self.variant is not None and self.variant not in VARIANTS:
+            raise RunConfigError(f"unknown variant {self.variant!r}; "
+                                 f"one of {VARIANTS}")
+        algorithm = self.algorithm or "directvoxgo"
+        if algorithm not in ALGORITHMS:
+            raise RunConfigError(f"unknown algorithm {algorithm!r}; "
+                                 f"one of {ALGORITHMS}")
+        for name in self.scenes:
+            try:
+                scene_of(name)
+            except KeyError as exc:
+                raise RunConfigError(exc.args[0]) from None
+
+    def _validate_cluster(self) -> None:
+        serve_only = [name for name in _SERVE_ONLY
+                      if getattr(self, name) not in (None, ())]
+        if serve_only:
+            raise RunConfigError(
+                f"{_SERVE_ONLY_FLAGS} are serve-only options (use "
+                "--workload NAME[:N] to shape the arrival mix)")
+        if (self.rate_hz is not None and self.rate_hz <= 0
+                or self.duration_s is not None and self.duration_s <= 0):
+            raise RunConfigError("--rate and --duration must be > 0")
+        if (self.workers is not None and self.workers < 1
+                or self.queue_limit is not None and self.queue_limit < 1):
+            raise RunConfigError("--workers and --queue-limit must be >= 1")
+        arrivals = self.arrivals or "poisson"
+        if arrivals not in ARRIVAL_KINDS:
+            raise RunConfigError(f"unknown arrivals {arrivals!r}; "
+                                 f"one of {ARRIVAL_KINDS}")
+        if self.placement is not None and self.placement not in PLACEMENTS:
+            raise RunConfigError(
+                f"unknown placement {self.placement!r}; one of "
+                f"{tuple(sorted(PLACEMENTS))}")
+        if (arrivals == "replay") != (self.trace is not None):
+            raise RunConfigError(
+                "--trace is required for (and only valid with) "
+                "--arrivals replay")
+        if arrivals == "replay" and (self.workloads is not None
+                                     or self.rate_hz is not None
+                                     or self.duration_s is not None):
+            raise RunConfigError(
+                "--workload/--rate/--duration do not apply to --arrivals "
+                "replay (the trace fixes every arrival)")
+        if not self.autoscale and (self.min_workers is not None
+                                   or self.max_workers is not None
+                                   or self.scale_up_latency_s is not None):
+            raise RunConfigError(
+                "--min-workers/--max-workers/--scale-up-latency require "
+                "--autoscale")
+
+
+def parse_rates(text: str) -> tuple:
+    """Parse a frontier ``--rates`` list; >= 3 positive load points."""
+    try:
+        rates = tuple(float(part) for part in text.split(",")
+                      if part.strip())
+    except ValueError:
+        raise RunConfigError(f"bad --rates {text!r}; expected "
+                             "comma-separated numbers") from None
+    if len(rates) < 3 or any(r <= 0 for r in rates):
+        raise RunConfigError("--rates needs >= 3 positive load points")
+    return rates
+
+
+def _workloads_of(args) -> str | None:
+    if not args.workloads:
+        return None
+    return ",".join(args.workloads)
+
+
+def from_cli_args(command: str, args) -> RunConfig:
+    """Build the validated :class:`RunConfig` behind one CLI invocation.
+
+    ``command`` is ``"serve"``, ``"cluster"``, or ``"frontier"`` (a
+    frontier invocation validates as the cluster cell its sweep expands
+    into).  Cross-command flags — a serve-only flag passed to
+    ``cluster``, ``--rates`` passed to ``cluster``, cluster scheduling
+    flags passed to ``frontier`` — raise :class:`RunConfigError` with
+    the shared messages, so every command rejects a bad combination
+    identically.
+    """
+    scale = "fast" if args.fast else "default"
+    if command == "serve":
+        return RunConfig(
+            mode="serve", scale=scale, workloads=_workloads_of(args),
+            frames=args.frames, seed=args.seed, governor=args.governor or "off",
+            slo_fps=args.slo, use_cache=not args.no_cache,
+            sessions=args.sessions, scheduler=args.scheduler,
+            variant=args.variant, scenes=tuple(args.scenes or ()),
+            algorithm=args.algorithm, ray_budget=args.ray_budget,
+            # Cluster-only flags ride along (all default late to None)
+            # so validate() rejects explicit use with the shared message.
+            arrivals=args.arrivals, rate_hz=args.rate,
+            duration_s=args.duration, workers=args.workers,
+            placement=args.placement, queue_limit=args.queue_limit,
+            trace=args.trace, autoscale=args.autoscale,
+            min_workers=args.min_workers, max_workers=args.max_workers,
+            scale_up_latency_s=args.scale_up_latency,
+        ).validate()
+    if command == "cluster":
+        if args.rates is not None:
+            raise RunConfigError(
+                "--rates is a frontier-only option (use --rate for a "
+                "single arrival rate)")
+    elif command == "frontier":
+        if (args.trace is not None or args.autoscale
+                or args.min_workers is not None
+                or args.max_workers is not None
+                or args.scale_up_latency is not None
+                or args.rate is not None or args.arrivals is not None):
+            raise RunConfigError(
+                "--rate/--arrivals/--trace/--autoscale options do not "
+                "apply (the sweep fixes poisson arrivals; use --rates "
+                "for the load points)")
+    else:
+        raise RunConfigError(f"unknown command {command!r}")
+    return RunConfig(
+        mode="cluster", scale=scale, workloads=_workloads_of(args),
+        frames=args.frames, seed=args.seed, governor=args.governor or "off",
+        slo_fps=args.slo, use_cache=not args.no_cache,
+        sessions=args.sessions, scheduler=args.scheduler,
+        variant=args.variant, scenes=tuple(args.scenes or ()),
+        algorithm=args.algorithm, ray_budget=args.ray_budget,
+        arrivals=args.arrivals, rate_hz=args.rate,
+        duration_s=args.duration, workers=args.workers,
+        placement=args.placement, queue_limit=args.queue_limit,
+        trace=args.trace, autoscale=args.autoscale,
+        min_workers=args.min_workers, max_workers=args.max_workers,
+        scale_up_latency_s=args.scale_up_latency,
+    ).validate()

@@ -23,6 +23,7 @@ from ..workloads import (
     cache_report,
 )
 from .configs import DEFAULT, ExperimentConfig
+from .pricing import frame_economics
 
 __all__ = ["legacy_mix", "build_sessions", "run_serve"]
 
@@ -179,6 +180,10 @@ def run_serve(config: ExperimentConfig = DEFAULT, sessions: int = 8,
         "p95_latency_ms": report.p95_latency_s * 1e3,
         "p99_latency_ms": report.p99_latency_s * 1e3,
         "worst_latency_ms": report.worst_latency_s * 1e3,
+        # $/frame prices the serialized SoC makespan: one shared SoC is
+        # occupied end-to-end while the batch drains.
+        **frame_economics(report.total_frames, report.total_energy_j,
+                          report.makespan_s),
         "nerf_calls": batch.nerf_calls,
         "requests_per_call": batch.requests_per_call,
         "total_rays": batch.total_rays,

@@ -15,10 +15,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..metrics.stats import percentile_or_zero
-from .soc import SoCModel
+from .soc import FrameCost, SoCModel
 from .workload import workload_from_stats
 
-__all__ = ["SessionServingStats", "ServingReport", "price_frame_record",
+__all__ = ["SessionServingStats", "ServingReport", "frame_cost_record",
+           "price_frame_record", "session_frame_costs",
            "price_session_frames", "aggregate_serving"]
 
 
@@ -41,6 +42,7 @@ class SessionServingStats:
     p50_latency_s: float = 0.0
     p99_latency_s: float = 0.0
     utilization: float = 0.0
+    energy_j: float = 0.0  # SoC energy spent on this session's frames
 
 
 @dataclass
@@ -69,34 +71,47 @@ class ServingReport:
     worst_latency_s: float
     p50_latency_s: float = 0.0
     p99_latency_s: float = 0.0
+    total_energy_j: float = 0.0
     per_session: list = field(default_factory=list)
     cache: dict | None = None
 
 
-def price_frame_record(record, soc: SoCModel, variant: str = "cicero"
-                       ) -> float:
-    """SoC time (seconds) of one recorded SPARW target frame.
+def frame_cost_record(record, soc: SoCModel, variant: str = "cicero"
+                      ) -> FrameCost:
+    """Full SoC cost (time *and* energy) of one recorded SPARW frame.
 
     The frame is priced from its recorded sparse-NeRF stats and warp
     work; a frame that rendered a new reference additionally pays the
     full-frame render (local rendering serialises the two paths on the
-    shared SoC).  This is the per-frame cost signal the quality governor
-    closes its latency loop on.
+    shared SoC).  The latency is the signal the quality governor closes
+    its loop on; the energy feeds the J/frame run-table columns.
     """
     target = workload_from_stats(record.sparse_stats,
                                  warp_points=record.warp_points)
-    cost = soc.price_nerf(target, variant).time_s
+    cost = soc.price_nerf(target, variant)
     if record.reference_stats is not None:
         reference = workload_from_stats(record.reference_stats)
-        cost += soc.price_nerf(reference, variant).time_s
+        cost = cost.merge(soc.price_nerf(reference, variant))
     return cost
+
+
+def price_frame_record(record, soc: SoCModel, variant: str = "cicero"
+                       ) -> float:
+    """SoC time (seconds) of one recorded SPARW target frame."""
+    return frame_cost_record(record, soc, variant).time_s
+
+
+def session_frame_costs(result, soc: SoCModel, variant: str = "cicero"
+                        ) -> list:
+    """Per-frame :class:`FrameCost` of one SPARW sequence result."""
+    return [frame_cost_record(record, soc, variant)
+            for record in result.records]
 
 
 def price_session_frames(result, soc: SoCModel, variant: str = "cicero"
                          ) -> list:
     """Per-frame SoC time of one SPARW sequence result (seconds)."""
-    return [price_frame_record(record, soc, variant)
-            for record in result.records]
+    return [cost.time_s for cost in session_frame_costs(result, soc, variant)]
 
 
 def aggregate_serving(session_results: dict, soc: SoCModel | None = None,
@@ -133,9 +148,11 @@ def aggregate_serving(session_results: dict, soc: SoCModel | None = None,
         raise ValueError(f"unknown service order {order!r}")
     soc = soc or SoCModel()
     variants = variants or {}
-    frame_times = {
-        sid: price_session_frames(result, soc, variants.get(sid, variant))
+    frame_costs = {
+        sid: session_frame_costs(result, soc, variants.get(sid, variant))
         for sid, result in session_results.items()}
+    frame_times = {sid: [c.time_s for c in costs]
+                   for sid, costs in frame_costs.items()}
 
     latencies: dict = {sid: [] for sid in frame_times}
     clock = 0.0
@@ -169,6 +186,7 @@ def aggregate_serving(session_results: dict, soc: SoCModel | None = None,
             p50_latency_s=_pct(lats, 50),
             p99_latency_s=_pct(lats, 99),
             utilization=busy / clock if clock > 0 else 0.0,
+            energy_j=float(sum(c.energy_j for c in frame_costs[sid])),
         ))
 
     total_frames = sum(s.frames for s in per_session)
@@ -183,6 +201,7 @@ def aggregate_serving(session_results: dict, soc: SoCModel | None = None,
         worst_latency_s=max(all_latencies, default=0.0),
         p50_latency_s=_pct(all_latencies, 50),
         p99_latency_s=_pct(all_latencies, 99),
+        total_energy_j=sum(s.energy_j for s in per_session),
         per_session=per_session,
         cache=cache_stats,
     )

@@ -19,7 +19,7 @@ import json
 import sys
 from pathlib import Path
 
-from ..harness.reporting import format_table
+from ..harness.reporting import SCHEMA_VERSION, format_table
 
 __all__ = ["compare_payloads", "load_artifact", "main"]
 
@@ -30,10 +30,23 @@ DEFAULT_THRESHOLD = 1.25
 
 
 def load_artifact(path: str | Path) -> dict:
-    """Read one ``BENCH_perf.json``; raises ``ValueError`` on bad shape."""
+    """Read one ``BENCH_perf.json``; raises ``ValueError`` on bad shape.
+
+    Artifacts written under a different ``schema_version`` (including
+    pre-versioned ones that only carry v1's ``"schema"`` key) are
+    refused outright: a cross-version ratio would silently compare
+    fields that moved, so the caller gets a clear regenerate-me error
+    instead of a ``KeyError`` deep in the diff.
+    """
     payload = json.loads(Path(path).read_text())
     if not isinstance(payload, dict) or "rows" not in payload:
         raise ValueError(f"{path}: not a BENCH_*.json payload (no rows)")
+    version = payload.get("schema_version", payload.get("schema"))
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: artifact schema_version {version!r} does not match "
+            f"this tool (expected {SCHEMA_VERSION}); regenerate it with "
+            "the current 'cli bench'")
     return payload
 
 

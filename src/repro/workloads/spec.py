@@ -3,7 +3,7 @@
 A :class:`WorkloadSpec` is the single run-table row every harness entry
 point consumes (the muBench-style idiom): the CLI resolves named specs from
 the registry, ``harness.serve`` builds engine sessions from them,
-``harness.experiments`` routes figure configurations through them, and the
+``harness.figures`` routes figure configurations through them, and the
 shared caches key artifacts by :meth:`WorkloadSpec.spec_hash`.
 
 Specs are frozen/hashable and fully declarative — building the actual

@@ -242,15 +242,18 @@ class TestGovernorCli:
         assert "--arrivals" in capsys.readouterr().err
 
     def test_frontier_honours_placement(self):
+        # The frontier delegates every cell to the experiment runner, so
+        # the placement knob must survive the RunConfig hand-off.
         from repro.harness import frontier as frontier_mod
+        from repro.harness import runner as runner_mod
         seen = []
-        real = frontier_mod.simulate_cluster
+        real = runner_mod.simulate_cluster
 
         def spy(*args, **kwargs):
             seen.append(kwargs["placement"])
             return real(*args, **kwargs)
 
-        frontier_mod.simulate_cluster = spy
+        runner_mod.simulate_cluster = spy
         try:
             frontier_mod.run_frontier(
                 __import__("repro.harness.configs",
@@ -259,5 +262,5 @@ class TestGovernorCli:
                 duration_s=0.2, frames=1, modes=("off",),
                 placement="cache_affinity")
         finally:
-            frontier_mod.simulate_cluster = real
+            runner_mod.simulate_cluster = real
         assert seen and all(p == "cache_affinity" for p in seen)

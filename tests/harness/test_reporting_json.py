@@ -111,10 +111,16 @@ class TestWriteBenchJson:
                                 config=FAST)
         assert path == target / "BENCH_fig07.json"
         payload = json.loads(path.read_text())
-        assert payload["schema"] == 1
+        assert payload["schema_version"] == 2
+        assert payload["kind"] == "figure"
         assert payload["figure"] == "fig07"
         assert payload["wall_time_s"] == 2.0
         assert payload["rows"] == [{"overlap": 0.98}]
+
+    def test_kind_is_persisted(self, tmp_path):
+        path = write_bench_json(tmp_path, "cluster", [{"v": 1}], 1.0,
+                                kind="cluster")
+        assert json.loads(path.read_text())["kind"] == "cluster"
 
     def test_overwrites_previous_run(self, tmp_path):
         write_bench_json(tmp_path, "fig07", [{"v": 1}], 1.0)

@@ -7,7 +7,7 @@ from repro.core.sparw import SparwRenderer
 from repro.core.streaming import FullyStreamingScheduler
 from repro.harness import FAST, full_frame_profile
 from repro.harness.configs import build_renderer, ground_truth_sequence, make_camera
-from repro.harness.experiments import run_sparw, sparw_workloads_from_result
+from repro.harness.figures import run_sparw, sparw_workloads_from_result
 from repro.hw import RemoteConfig, RemoteScenario, SoCModel
 from repro.metrics import mean_psnr, psnr
 

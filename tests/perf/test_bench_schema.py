@@ -28,7 +28,8 @@ def _strict_loads(text):
 def test_payload_round_trips_through_safe_json_dumps(payload):
     text = safe_json_dumps(payload, indent=2, sort_keys=True)
     back = _strict_loads(text)
-    assert back["schema"] == 1
+    assert back["schema_version"] == 2
+    assert back["kind"] == "figure"
     assert back["figure"] == "perf"
     kernels = [row["kernel"] for row in back["rows"]]
     assert kernels == ["disocclusion.classify", "volume.composite"]
@@ -60,7 +61,8 @@ def test_cli_bench_rejects_unknown_kernel(tmp_path, capsys):
 
 
 def _artifact(kernel_ns):
-    return {"rows": [{"kernel": k, "ns_per_op": ns}
+    return {"schema_version": 2, "kind": "perf",
+            "rows": [{"kernel": k, "ns_per_op": ns}
                      for k, ns in kernel_ns.items()]}
 
 
@@ -86,3 +88,19 @@ def test_compare_cli_exit_codes(tmp_path):
     assert main([str(old), str(new)]) == 1
     assert main(["--threshold", "10.0", str(old), str(new)]) == 0
     assert main([str(old), str(tmp_path / "missing.json")]) == 2
+
+
+def test_compare_cli_refuses_schema_mismatch(tmp_path, capsys):
+    # A pre-versioned (v1) artifact must be refused with a clear
+    # regenerate-me message, not a KeyError mid-diff.
+    from repro.perf.compare import main
+    old = tmp_path / "old.json"
+    new = tmp_path / "new.json"
+    v1 = _artifact({"a": 100.0})
+    del v1["schema_version"]
+    v1["schema"] = 1
+    old.write_text(json.dumps(v1))
+    new.write_text(json.dumps(_artifact({"a": 99.0})))
+    assert main([str(old), str(new)]) == 2
+    err = capsys.readouterr().err
+    assert "schema_version" in err and "regenerate" in err
