@@ -1,0 +1,40 @@
+"""The kernel-override table the hot paths consult on every call.
+
+This module is deliberately import-free so the measured hot kernels
+(:mod:`repro.nerf.fields.interp`, :mod:`repro.nerf.volume_render`, the
+SPARW warp geometry) can consult it without creating an import cycle
+through the backend package.  The table maps kernel names (see
+:data:`repro.backend.base.KERNELS`) to replacement callables; an empty
+table — the default, and what the ``numpy`` and ``parallel`` backends
+install — means every kernel runs its built-in numpy implementation.
+
+The cost of an inactive backend is one dict lookup per kernel call.
+Like the rest of the simulator, the table is process-global and
+single-threaded by design; :func:`repro.backend.registry.use_backend`
+is the only sanctioned writer.
+"""
+
+from __future__ import annotations
+
+__all__ = ["override", "active_overrides", "install"]
+
+# kernel name -> callable; empty when the numpy kernels are active.
+_OVERRIDES: dict = {}
+
+
+def override(kernel: str):
+    """The active replacement for ``kernel``, or ``None`` for built-in."""
+    return _OVERRIDES.get(kernel)
+
+
+def active_overrides() -> dict:
+    """The currently installed override table (read-only by convention)."""
+    return _OVERRIDES
+
+
+def install(overrides: dict) -> dict:
+    """Swap the override table; returns the previous one (for restore)."""
+    global _OVERRIDES
+    previous = _OVERRIDES
+    _OVERRIDES = dict(overrides)
+    return previous

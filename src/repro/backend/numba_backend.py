@@ -1,0 +1,299 @@
+"""Optional numba backend: njit'd hot kernels, bounded-error contract.
+
+Every kernel is compiled lazily on first call (``numba`` imports are
+gated, so the module is importable — and the backend registered as
+unavailable — on machines without numba; the registry then resolves
+``--backend numba`` to the numpy fallback with a note instead of
+failing).  Loops use ``prange`` where iterations are independent
+(per-sample gathers, per-pixel lifts) and stay serial where order
+matters (the z-buffer resolve, the per-ray transmittance scan).
+
+Error contract (``exact=False``): results may differ from the numpy
+reference within the per-kernel tolerances in :data:`ATOL` —
+``volume.composite`` replaces the log-cumsum segmented scan with a
+direct sequential transmittance product (same math, different
+floating-point path), while the remaining kernels perform the same
+operations in the same order and are expected to match to the last
+ulp.  The numba backend is never the default, so goldens stay
+byte-stable regardless.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import KernelBackend
+
+__all__ = ["ATOL", "NUMBA_AVAILABLE", "NumbaBackend"]
+
+try:  # pragma: no cover - exercised only where numba wheels exist
+    from numba import njit, prange
+    NUMBA_AVAILABLE = True
+except ImportError:  # the [perf] extra is not installed
+    NUMBA_AVAILABLE = False
+
+# Absolute tolerance of each kernel against the numpy reference (the
+# bounded-error contract tests/backend/test_numba_parity.py enforces).
+ATOL = {
+    "field.trilinear_gather": 0.0,
+    "field.accumulate_gather": 1e-12,
+    "warp.gather": 0.0,
+    "warp.scatter": 0.0,
+    "disocclusion.classify": 0.0,
+    "volume.composite": 1e-6,
+}
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only with numba
+
+    @njit(parallel=True, fastmath=False, cache=True)
+    def _accumulate_gather3(table, base_ids, corner_offsets, omf, frac):
+        n = base_ids.shape[0]
+        f = table.shape[1]
+        out = np.empty((n, f))
+        for i in prange(n):
+            for k in range(8):
+                # Corner bit layout matches interp._CORNERS3: axis 0 is
+                # the slowest-varying bit.  Weight products multiply in
+                # axis order, exactly as the numpy kernel does.
+                w0 = frac[i, 0] if (k >> 2) & 1 else omf[i, 0]
+                w1 = frac[i, 1] if (k >> 1) & 1 else omf[i, 1]
+                w2 = frac[i, 2] if k & 1 else omf[i, 2]
+                w = (w0 * w1) * w2
+                row = base_ids[i] + corner_offsets[k]
+                if k == 0:
+                    for c in range(f):
+                        out[i, c] = table[row, c] * w
+                else:
+                    for c in range(f):
+                        out[i, c] += table[row, c] * w
+        return out
+
+    @njit(parallel=True, fastmath=False, cache=True)
+    def _accumulate_gather2(table, base_ids, corner_offsets, omf, frac):
+        n = base_ids.shape[0]
+        f = table.shape[1]
+        out = np.empty((n, f))
+        for i in prange(n):
+            for k in range(4):
+                w0 = frac[i, 0] if (k >> 1) & 1 else omf[i, 0]
+                w1 = frac[i, 1] if k & 1 else omf[i, 1]
+                w = w0 * w1
+                row = base_ids[i] + corner_offsets[k]
+                if k == 0:
+                    for c in range(f):
+                        out[i, c] = table[row, c] * w
+                else:
+                    for c in range(f):
+                        out[i, c] += table[row, c] * w
+        return out
+
+    @njit(parallel=True, fastmath=False, cache=True)
+    def _trilinear_cells(coords01, cells_float, cells_minus_1):
+        n = coords01.shape[0]
+        cell = np.empty((n, 3), dtype=np.int64)
+        frac = np.empty((n, 3))
+        for i in prange(n):
+            for a in range(3):
+                c = coords01[i, a]
+                if c < 0.0:
+                    c = 0.0
+                elif c > 1.0:
+                    c = 1.0
+                scaled = c * cells_float[a]
+                idx = np.int64(scaled)
+                if idx > cells_minus_1[a]:
+                    idx = cells_minus_1[a]
+                cell[i, a] = idx
+                frac[i, a] = scaled - idx
+        return cell, frac
+
+    @njit(parallel=True, fastmath=False, cache=True)
+    def _lift_points(depth, xg, yg):
+        h, w = depth.shape
+        out = np.empty((h * w, 3))
+        for i in prange(h):
+            for j in range(w):
+                d = depth[i, j]
+                p = i * w + j
+                out[p, 0] = xg[i, j] * d
+                out[p, 1] = yg[i, j] * d
+                out[p, 2] = d
+        return out
+
+    @njit(fastmath=False, cache=True)
+    def _scatter_resolve(flat_ids, z, src, colors, image, depth,
+                         source_index):
+        # Last-wins on equal depth reproduces the numpy path's stable
+        # descending-depth argsort exactly: nearest point per pixel,
+        # with the later-arriving point winning ties.
+        for i in range(flat_ids.shape[0]):
+            p = flat_ids[i]
+            if z[i] <= depth[p]:
+                depth[p] = z[i]
+                source_index[p] = src[i]
+                s = src[i]
+                image[p, 0] = colors[s, 0]
+                image[p, 1] = colors[s, 1]
+                image[p, 2] = colors[s, 2]
+
+    @njit(parallel=True, fastmath=False, cache=True)
+    def _classify(covered, hole, angle, threshold):
+        n = covered.shape[0]
+        warped = np.empty(n, dtype=np.bool_)
+        disoccluded = np.empty(n, dtype=np.bool_)
+        for i in prange(n):
+            too_wide = covered[i] and angle[i] > threshold
+            warped[i] = covered[i] and not too_wide
+            disoccluded[i] = hole[i] or too_wide
+        return warped, disoccluded
+
+    @njit(fastmath=False, cache=True)
+    def _composite_scan(alphas, rgbs, t_values, ray_index, num_rays):
+        n = alphas.shape[0]
+        rgb = np.zeros((num_rays, 3))
+        depth_sum = np.zeros(num_rays)
+        opacity = np.zeros(num_rays)
+        trans = 1.0
+        prev = np.int64(-1)
+        for i in range(n):
+            r = ray_index[i]
+            if r != prev:
+                trans = 1.0
+                prev = r
+            w = trans * alphas[i]
+            trans *= 1.0 - alphas[i]
+            rgb[r, 0] += w * rgbs[i, 0]
+            rgb[r, 1] += w * rgbs[i, 1]
+            rgb[r, 2] += w * rgbs[i, 2]
+            depth_sum[r] += w * t_values[i]
+            opacity[r] += w
+        return rgb, depth_sum, opacity
+
+
+class NumbaBackend(KernelBackend):
+    """njit'd hot kernels (install via the ``[perf]`` extra).
+
+    Bounded-error (:data:`ATOL`), never the default.  When numba is
+    absent every method gracefully falls back to the inherited numpy
+    kernels and :meth:`overrides` installs nothing, so selecting this
+    backend on a numba-less machine degrades to numpy transparently.
+    """
+
+    name = "numba"
+    description = ("njit'd kernels, parallel-range where safe "
+                   "(bounded-error; needs the [perf] extra)")
+    exact = False
+    available = NUMBA_AVAILABLE
+    fallback = "numpy"
+
+    # -- kernel surface ---------------------------------------------------------
+
+    def trilinear_gather(self, coords01, resolution, assume_clipped=False):
+        """Trilinear setup; atol 0 (same truncation arithmetic)."""
+        if not NUMBA_AVAILABLE:
+            return super().trilinear_gather(coords01, resolution,
+                                            assume_clipped)
+        from ..nerf.fields.interp import setup_tables_for
+        coords01 = np.ascontiguousarray(np.atleast_2d(
+            np.asarray(coords01, dtype=float)))
+        cells_float, cells_minus_1, vertex_shape, corner_offsets = \
+            setup_tables_for(resolution, dim=3)
+        cell, frac = _trilinear_cells(coords01, cells_float, cells_minus_1)
+        base = np.zeros(cell.shape[0], dtype=np.int64)
+        for axis, extent in enumerate(vertex_shape):
+            base = base * int(extent) + cell[:, axis]
+        return base, corner_offsets, (1.0 - frac, frac)
+
+    def accumulate_gather(self, table, base_ids, corner_offsets,
+                          weight_factors):
+        """Corner accumulation; atol 1e-12 (same multiply/add order)."""
+        if not NUMBA_AVAILABLE:
+            return super().accumulate_gather(table, base_ids,
+                                             corner_offsets, weight_factors)
+        omf, frac = (np.ascontiguousarray(w) for w in weight_factors)
+        table = np.ascontiguousarray(table)
+        base_ids = np.ascontiguousarray(base_ids)
+        offsets = np.ascontiguousarray(corner_offsets)
+        if corner_offsets.shape[0] == 8:
+            return _accumulate_gather3(table, base_ids, offsets, omf, frac)
+        return _accumulate_gather2(table, base_ids, offsets, omf, frac)
+
+    def warp_gather(self, depth, intrinsics):
+        """Depth lift; atol 0 (identical per-pixel products)."""
+        if not NUMBA_AVAILABLE:
+            return super().warp_gather(depth, intrinsics)
+        from ..geometry.pointcloud import lift_grids
+        depth = np.ascontiguousarray(np.asarray(depth, dtype=float))
+        xg, yg = lift_grids(intrinsics, *depth.shape)
+        return _lift_points(depth, np.ascontiguousarray(xg),
+                            np.ascontiguousarray(yg))
+
+    def warp_scatter(self, flat_ids, z, src, colors, image, depth,
+                     source_index):
+        """Z-buffer resolve; atol 0 (ties break exactly as the sort)."""
+        if not NUMBA_AVAILABLE:
+            return super().warp_scatter(flat_ids, z, src, colors, image,
+                                        depth, source_index)
+        _scatter_resolve(np.ascontiguousarray(flat_ids),
+                         np.ascontiguousarray(z),
+                         np.ascontiguousarray(src),
+                         np.ascontiguousarray(colors),
+                         image, depth, source_index)
+
+    def classify(self, covered, hole, angle, threshold):
+        """Mask partition; atol 0 (boolean algebra)."""
+        if not NUMBA_AVAILABLE or threshold is None:
+            return super().classify(covered, hole, angle, threshold)
+        shape = covered.shape
+        warped, disoccluded = _classify(
+            np.ascontiguousarray(covered).reshape(-1),
+            np.ascontiguousarray(hole).reshape(-1),
+            np.ascontiguousarray(angle, dtype=float).reshape(-1),
+            float(threshold))
+        return warped.reshape(shape), disoccluded.reshape(shape)
+
+    def composite(self, sigmas, rgbs, t_values, deltas, ray_index,
+                  num_rays):
+        """Sequential-transmittance composite; atol 1e-6.
+
+        The numpy reference computes transmittance via a clipped
+        log-cumsum (an ``exp(cumsum(log(...)))`` round-trip); this scan
+        multiplies ``(1 - alpha)`` directly, so weights differ at
+        floating-point-path level — bounded by :data:`ATOL`.
+        """
+        from ..nerf.volume_render import CompositeResult
+        if not NUMBA_AVAILABLE:
+            return super().composite(sigmas, rgbs, t_values, deltas,
+                                     ray_index, num_rays)
+        sigmas = np.ascontiguousarray(np.asarray(sigmas, dtype=float))
+        if len(sigmas) == 0:
+            return CompositeResult(rgb=np.zeros((num_rays, 3)),
+                                   depth=np.full(num_rays, np.inf),
+                                   opacity=np.zeros(num_rays))
+        deltas = np.ascontiguousarray(np.asarray(deltas, dtype=float))
+        alphas = 1.0 - np.exp(-np.maximum(sigmas, 0.0) * deltas)
+        rgb, depth_sum, opacity = _composite_scan(
+            alphas, np.ascontiguousarray(np.asarray(rgbs, dtype=float)),
+            np.ascontiguousarray(np.asarray(t_values, dtype=float)),
+            np.ascontiguousarray(np.asarray(ray_index, dtype=np.int64)),
+            int(num_rays))
+        opacity = np.clip(opacity, 0.0, 1.0)
+        safe = np.where(opacity > 1e-8, opacity, 1.0)
+        depth = np.where(opacity > 1e-8, depth_sum / safe, np.inf)
+        return CompositeResult(rgb=np.clip(rgb, 0.0, 1.0), depth=depth,
+                               opacity=opacity)
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def overrides(self) -> dict:
+        """Install every njit kernel; nothing when numba is absent."""
+        if not NUMBA_AVAILABLE:
+            return {}
+        return {
+            "field.trilinear_gather": self.trilinear_gather,
+            "field.accumulate_gather": self.accumulate_gather,
+            "warp.gather": self.warp_gather,
+            "warp.scatter": self.warp_scatter,
+            "disocclusion.classify": self.classify,
+            "volume.composite": self.composite,
+        }

@@ -134,10 +134,15 @@ class ClusterSimulator:
                  use_cache: bool = True,
                  worker_cache_entries: int = 256,
                  worker_cache_bytes: int = 64 << 20,
-                 governor=None):
+                 governor=None, backend: str | None = None,
+                 engine_workers: int | None = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.config = config
+        # Kernel backend every spawned Worker renders with (results are
+        # backend-independent for the exact backends).
+        self.backend = backend
+        self.engine_workers = engine_workers
         self.frames = frames
         self.seed = seed  # offsets spec trajectory seeds (with_overrides)
         self.placement = (make_placement(placement)
@@ -169,7 +174,8 @@ class ClusterSimulator:
                         started_s=now_s, index=self._worker_seq,
                         cache_entries=self._worker_cache_entries,
                         cache_bytes=self._worker_cache_bytes,
-                        use_cache=self.use_cache)
+                        use_cache=self.use_cache, backend=self.backend,
+                        engine_workers=self.engine_workers)
         self._worker_seq += 1
         self.workers.append(worker)
         return worker
@@ -387,7 +393,9 @@ def simulate_cluster(mix, config, arrivals: str = "poisson",
                      autoscaler: Autoscaler | None = None,
                      use_cache: bool = True,
                      governor: str = "off", slo_fps: float | None = None,
-                     trace=None, **arrival_params) -> ClusterReport:
+                     trace=None, backend: str | None = None,
+                     engine_workers: int | None = None,
+                     **arrival_params) -> ClusterReport:
     """One-call cluster run: generate arrivals, simulate, report.
 
     ``mix`` is any serve mix (``"vr-lego:3,dolly-chair"`` or ``(spec,
@@ -417,5 +425,7 @@ def simulate_cluster(mix, config, arrivals: str = "poisson",
                                  queue_limit=queue_limit, frames=frames,
                                  seed=seed, autoscaler=autoscaler,
                                  use_cache=use_cache,
-                                 governor=cluster_governor)
+                                 governor=cluster_governor,
+                                 backend=backend,
+                                 engine_workers=engine_workers)
     return simulator.run(schedule, label=arrivals)

@@ -68,9 +68,15 @@ class Worker:
     def __init__(self, worker_id: str, config, soc: SoCModel | None = None,
                  started_s: float = 0.0, index: int = 0,
                  cache_entries: int = 256, cache_bytes: int = 64 << 20,
-                 use_cache: bool = True):
+                 use_cache: bool = True, backend: str | None = None,
+                 engine_workers: int | None = None):
         self.worker_id = str(worker_id)
         self.config = config
+        # Kernel backend for this worker's render engine (see
+        # repro.backend); results are backend-independent for the exact
+        # backends, so this only changes render wall-time.
+        self.backend = backend
+        self.engine_workers = engine_workers
         self.soc = soc or SoCModel(feature_dim=config.feature_dim)
         # The cache object always exists so stats report uniformly; with
         # use_cache=False it is simply never attached to the engine.
@@ -127,7 +133,9 @@ class Worker:
         MultiSessionEngine(
             [engine_session],
             reference_cache=(self.reference_cache if self.use_cache
-                             else None)).run()
+                             else None),
+            backend=self.backend,
+            engine_workers=self.engine_workers).run()
         return engine_session
 
     def admit(self, session_id: str, spec, now_s: float,

@@ -18,9 +18,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ...backend.dispatch import override
 from .warp import WarpResult
 
-__all__ = ["PixelClassification", "classify_pixels", "overlap_fraction"]
+__all__ = ["PixelClassification", "classify_pixels", "classify_masks",
+           "classify_masks_numpy", "overlap_fraction"]
 
 
 @dataclass
@@ -62,14 +64,40 @@ def classify_pixels(warp: WarpResult,
     radiance approximation is not trusted there, so the NeRF model re-renders
     them.
     """
-    warped = warp.covered.copy()
-    disoccluded = warp.hole_mask.copy()
-    if angle_threshold_deg is not None:
-        too_wide = warped & (warp.warp_angle_deg > angle_threshold_deg)
-        warped &= ~too_wide
-        disoccluded |= too_wide
+    warped, disoccluded = classify_masks(warp.covered, warp.hole_mask,
+                                         warp.warp_angle_deg,
+                                         angle_threshold_deg)
     return PixelClassification(warped=warped, disoccluded=disoccluded,
                                void=warp.void.copy())
+
+
+def classify_masks(covered: np.ndarray, hole: np.ndarray,
+                   angle: np.ndarray, threshold: float | None
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """Backend-dispatched :func:`classify_masks_numpy` (see there)."""
+    fn = override("disocclusion.classify")
+    if fn is not None:
+        return fn(covered, hole, angle, threshold)
+    return classify_masks_numpy(covered, hole, angle, threshold)
+
+
+def classify_masks_numpy(covered: np.ndarray, hole: np.ndarray,
+                         angle: np.ndarray, threshold: float | None
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """The (warped, disoccluded) mask partition of a naive warp.
+
+    ``threshold=None`` skips the phi test: the masks are plain copies of
+    coverage and hole state.  Otherwise covered pixels whose warp angle
+    exceeds the threshold move from warped to disoccluded.  Always
+    returns fresh arrays (callers mutate them downstream).
+    """
+    warped = covered.copy()
+    disoccluded = hole.copy()
+    if threshold is not None:
+        too_wide = warped & (angle > threshold)
+        warped &= ~too_wide
+        disoccluded |= too_wide
+    return warped, disoccluded
 
 
 def overlap_fraction(warp: WarpResult) -> float:

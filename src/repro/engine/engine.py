@@ -140,24 +140,58 @@ class MultiSessionEngine:
         :func:`~repro.control.governor.split_budget`) instead of served
         as a plain prefix.  ``None`` keeps the engine bit-identical to
         the ungoverned behaviour.
+    backend:
+        Optional kernel-backend name (see :mod:`repro.backend`) activated
+        for the whole run.  ``"parallel"`` additionally fans each
+        deterministic render group's bundles out to the persistent
+        worker pool — results stay bit-identical to serial serving
+        because per-bundle rendering is exact (see
+        :meth:`~repro.nerf.renderer.NeRFRenderer.render_ray_batch`).
+    engine_workers:
+        Pool size for the ``parallel`` backend (default:
+        the backend's ``default_workers``); ignored otherwise.
     """
 
     def __init__(self, sessions: list, scheduler=None,
                  ray_budget: int | None = None, reference_cache=None,
-                 governor=None):
+                 governor=None, backend: str | None = None,
+                 engine_workers: int | None = None):
         ids = [s.session_id for s in sessions]
         if len(set(ids)) != len(ids):
             raise ValueError("session ids must be unique")
         if ray_budget is not None and ray_budget < 1:
             raise ValueError("ray_budget must be >= 1")
+        if engine_workers is not None and engine_workers < 1:
+            raise ValueError("engine_workers must be >= 1")
         self.sessions = list(sessions)
         self.scheduler = scheduler or RoundRobinScheduler()
         self.ray_budget = ray_budget
         self.reference_cache = reference_cache
         self.governor = governor
+        self.backend = backend
+        self.engine_workers = engine_workers
+        self._pool = None
 
     def run(self) -> EngineResult:
-        """Serve every session to completion; returns the combined result."""
+        """Serve every session to completion; returns the combined result.
+
+        The configured kernel backend is active for the whole run; on
+        exit (normal or not) the scratch arenas and geometry memos are
+        released — both locally and, for the ``parallel`` backend, in
+        every pool worker — so repeated runs don't accumulate arenas.
+        """
+        from ..backend.registry import use_backend
+        with use_backend(self.backend) as active:
+            if active.name == "parallel":
+                from ..backend.parallel import get_pool
+                workers = self.engine_workers or active.default_workers
+                self._pool = get_pool(workers)
+            try:
+                return self._run_rounds()
+            finally:
+                self._release_memory()
+
+    def _run_rounds(self) -> EngineResult:
         stats = BatchStats()
         round_index = 0
         if self.governor is not None:
@@ -180,6 +214,20 @@ class MultiSessionEngine:
             stats.rounds += 1
             round_index += 1
         return EngineResult(sessions=list(self.sessions), batch=stats)
+
+    def _release_memory(self) -> None:
+        """Drop scratch arenas and geometry memos after a run.
+
+        The memos are pure functions of their keys, so releasing them
+        never changes results — it only returns the engine to its
+        pre-run memory footprint (asserted by
+        ``tests/engine/test_memory_release.py``).
+        """
+        from ..backend.parallel import release_process_memory
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.release()
+        release_process_memory()
 
     # -- internals --------------------------------------------------------------
 
@@ -292,11 +340,36 @@ class MultiSessionEngine:
                 key = ("solo", index)
             groups.setdefault(key, []).append((session, ckey))
 
-        for members in groups.values():
+        # With the parallel backend, every deterministic group's bundles
+        # are queued to the pool up-front so workers overlap across
+        # groups; stochastic (solo) groups render on the main process to
+        # keep their RNG streams untouched.  Accounting and delivery
+        # below walk groups in insertion order either way, so stats,
+        # cache traffic, and delivery order are identical to serial.
+        group_list = list(groups.values())
+        tickets: dict = {}
+        if self._pool is not None:
+            from ..backend.parallel import supports_parallel
+            for gi, members in enumerate(group_list):
+                renderer = members[0][0].renderer
+                if supports_parallel(renderer):
+                    bundles = [(s.pending_request.origins,
+                                s.pending_request.directions)
+                               for s, _ in members]
+                    tickets[gi] = self._pool.submit_bundles(renderer, bundles)
+
+        for gi, members in enumerate(group_list):
             renderer = members[0][0].renderer
             requests = [s.pending_request for s, _ in members]
-            bundles = [(r.origins, r.directions) for r in requests]
-            outputs = renderer.render_ray_batch(bundles)
+            if gi in tickets:
+                from ..nerf.renderer import RenderOutput
+                outputs = [RenderOutput(rgb=rgb, depth_t=depth_t,
+                                        opacity=opacity, stats=out_stats)
+                           for rgb, depth_t, opacity, out_stats
+                           in self._pool.collect(tickets[gi])]
+            else:
+                bundles = [(r.origins, r.directions) for r in requests]
+                outputs = renderer.render_ray_batch(bundles)
             stats.nerf_calls += 1
             stats.requests += len(requests)
             batch_rays = sum(r.num_rays for r in requests)

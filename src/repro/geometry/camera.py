@@ -14,7 +14,7 @@ import numpy as np
 
 from .transforms import invert_pose
 
-__all__ = ["Intrinsics", "PinholeCamera"]
+__all__ = ["Intrinsics", "PinholeCamera", "clear_dir_grid_cache"]
 
 # Per-intrinsics camera-space direction lattice for full-frame ray
 # generation.  Intrinsics are frozen/hashable and a process normally uses
@@ -42,6 +42,11 @@ def _camera_dir_grid(intrinsics: "Intrinsics") -> np.ndarray:
             _DIR_GRID_CACHE.pop(next(iter(_DIR_GRID_CACHE)))
         _DIR_GRID_CACHE[intrinsics] = grid
     return grid
+
+
+def clear_dir_grid_cache() -> None:
+    """Release the memoised direction lattices (engine run-exit housekeeping)."""
+    _DIR_GRID_CACHE.clear()
 
 
 @dataclass(frozen=True)

@@ -12,7 +12,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["SplatResult", "splat_points"]
+from ..backend.dispatch import override
+
+__all__ = ["SplatResult", "splat_points", "scatter_resolve",
+           "scatter_resolve_numpy"]
 
 
 @dataclass
@@ -85,15 +88,44 @@ def splat_points(
     idx = np.nonzero(ok)[0]
     if idx.size:
         flat = py[idx] * width + px[idx]
-        # Nearest-point-wins z-buffer: sort by depth descending so that the
-        # final (nearest) write survives, then use a single scatter.
-        order = np.argsort(-z[idx], kind="stable")
-        flat_sorted = flat[order]
-        src_sorted = idx[order]
-        depth.reshape(-1)[flat_sorted] = z[src_sorted]
-        image.reshape(-1, 3)[flat_sorted] = colors[src_sorted]
-        source_index.reshape(-1)[flat_sorted] = src_sorted
+        scatter_resolve(flat, z[idx], idx, colors,
+                        image.reshape(-1, 3), depth.reshape(-1),
+                        source_index.reshape(-1))
 
     covered = np.isfinite(depth)
     return SplatResult(image=image, depth=depth, covered=covered,
                        source_index=source_index)
+
+
+def scatter_resolve(flat_ids: np.ndarray, z: np.ndarray, src: np.ndarray,
+                    colors: np.ndarray, image: np.ndarray,
+                    depth: np.ndarray, source_index: np.ndarray) -> None:
+    """Backend-dispatched :func:`scatter_resolve_numpy` (see there)."""
+    fn = override("warp.scatter")
+    if fn is not None:
+        fn(flat_ids, z, src, colors, image, depth, source_index)
+        return
+    scatter_resolve_numpy(flat_ids, z, src, colors, image, depth,
+                          source_index)
+
+
+def scatter_resolve_numpy(flat_ids: np.ndarray, z: np.ndarray,
+                          src: np.ndarray, colors: np.ndarray,
+                          image: np.ndarray, depth: np.ndarray,
+                          source_index: np.ndarray) -> None:
+    """Z-buffer resolve: scatter each point's color/depth, nearest wins.
+
+    ``flat_ids`` (M,) are flat pixel ids, ``z`` (M,) their depths, and
+    ``src`` (M,) their indices into the full point set; ``image`` (P, 3),
+    ``depth`` (P,), and ``source_index`` (P,) are flat per-pixel output
+    views mutated in place.  Sorting by depth descending with a stable
+    sort means the final (nearest) write survives, and among equal
+    depths the later-arriving point wins — alternate backends must
+    reproduce that tie behavior exactly.
+    """
+    order = np.argsort(-z, kind="stable")
+    flat_sorted = flat_ids[order]
+    src_sorted = src[order]
+    depth[flat_sorted] = z[order]
+    image[flat_sorted] = colors[src_sorted]
+    source_index[flat_sorted] = src_sorted

@@ -39,6 +39,7 @@ import argparse
 import sys
 import time
 
+from ..backend import backend_names
 from ..cluster import ARRIVAL_KINDS, PLACEMENTS
 from ..control import GOVERNOR_MODES
 from ..hw.soc import VARIANTS
@@ -112,6 +113,18 @@ def build_parser() -> argparse.ArgumentParser:
     shared.add_argument("--no-cache", action="store_true",
                         help="disable the shared cross-session reference "
                              "cache (outputs are bit-identical either way)")
+    shared.add_argument("--backend", choices=backend_names(), default=None,
+                        help="kernel backend for the hot paths: 'numpy' "
+                             "(default, exact), 'numba' (JIT, bounded "
+                             "error, falls back to numpy when not "
+                             "installed), or 'parallel' (multi-core "
+                             "session fan-out, bit-identical to numpy); "
+                             "also honoured by 'bench' and 'experiment'")
+    shared.add_argument("--engine-workers", type=int, default=None,
+                        metavar="N",
+                        help="worker-process count for --backend parallel "
+                             "(default 2); rejected with the in-process "
+                             "backends")
     shared.add_argument("--seed", type=int, default=0,
                         help="seed for every stochastic choice (trajectory "
                              "sampling, arrival schedule); same seed, same "
@@ -141,6 +154,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--kernels", metavar="K1,K2,...", default=None,
                        help="run only these registered kernels (default: "
                             "the full registry; see docs/benchmarking.md)")
+    bench.add_argument("--repeat", type=int, default=3, metavar="N",
+                       help="repeat every kernel N times and keep the "
+                            "best (fastest) measurement per kernel "
+                            "(default 3)")
     frontier = parser.add_argument_group(
         "frontier options", "only used with the 'frontier' command")
     frontier.add_argument("--rates", metavar="R1,R2,...", default=None,
@@ -310,10 +327,20 @@ def run_bench_command(args, config) -> int:
             print(f"bench: bad --kernels {args.kernels!r}; expected "
                   "comma-separated kernel names", file=sys.stderr)
             return 2
+    if args.repeat < 1:
+        print(f"bench: --repeat must be >= 1 (got {args.repeat})",
+              file=sys.stderr)
+        return 2
+    if args.engine_workers is not None and args.backend != "parallel":
+        print("bench: --engine-workers requires --backend parallel",
+              file=sys.stderr)
+        return 2
     started = time.time()
     try:
         rows, extra = run_benchmarks(config=config, quick=args.quick,
-                                     kernels=kernels)
+                                     kernels=kernels, repeat=args.repeat,
+                                     backend=args.backend,
+                                     engine_workers=args.engine_workers)
     except KeyError as exc:
         print(f"bench: {exc.args[0]}", file=sys.stderr)
         return 2

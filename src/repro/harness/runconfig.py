@@ -73,6 +73,10 @@ class RunConfig:
     governor: str = "off"
     slo_fps: float | None = None
     use_cache: bool = True
+    # Kernel backend (see repro.backend): None lets the engine default
+    # (numpy) apply; engine_workers sizes the parallel backend's pool.
+    backend: str | None = None
+    engine_workers: int | None = None
 
     # Serve-only knobs.
     sessions: int | None = None
@@ -170,6 +174,19 @@ class RunConfig:
                 parse_mix(self.workloads)
             except (KeyError, ValueError) as exc:
                 raise RunConfigError(exc.args[0]) from None
+        if self.backend is not None:
+            from ..backend import backend_names
+            if self.backend not in backend_names():
+                raise RunConfigError(
+                    f"unknown backend {self.backend!r}; "
+                    f"one of {backend_names()}")
+        if self.engine_workers is not None:
+            if self.engine_workers < 1:
+                raise RunConfigError("--engine-workers must be >= 1")
+            if self.backend != "parallel":
+                raise RunConfigError(
+                    "--engine-workers requires --backend parallel "
+                    "(the other backends run in-process)")
 
     def _validate_serve(self) -> None:
         cluster_only = [
@@ -297,6 +314,7 @@ def from_cli_args(command: str, args) -> RunConfig:
             mode="serve", scale=scale, workloads=_workloads_of(args),
             frames=args.frames, seed=args.seed, governor=args.governor or "off",
             slo_fps=args.slo, use_cache=not args.no_cache,
+            backend=args.backend, engine_workers=args.engine_workers,
             sessions=args.sessions, scheduler=args.scheduler,
             variant=args.variant, scenes=tuple(args.scenes or ()),
             algorithm=args.algorithm, ray_budget=args.ray_budget,
@@ -330,6 +348,7 @@ def from_cli_args(command: str, args) -> RunConfig:
         mode="cluster", scale=scale, workloads=_workloads_of(args),
         frames=args.frames, seed=args.seed, governor=args.governor or "off",
         slo_fps=args.slo, use_cache=not args.no_cache,
+        backend=args.backend, engine_workers=args.engine_workers,
         sessions=args.sessions, scheduler=args.scheduler,
         variant=args.variant, scenes=tuple(args.scenes or ()),
         algorithm=args.algorithm, ray_budget=args.ray_budget,

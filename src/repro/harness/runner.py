@@ -116,7 +116,8 @@ def _execute_cluster(cell: RunConfig, config, mix, seed: int) -> CellResult:
         workers=workers, placement=placement, queue_limit=queue_limit,
         frames=cell.frames, autoscaler=autoscaler,
         use_cache=cell.use_cache, governor=cell.governor,
-        slo_fps=cell.slo_fps, trace=cell.trace)
+        slo_fps=cell.slo_fps, trace=cell.trace,
+        backend=cell.backend, engine_workers=cell.engine_workers)
     quality = quality_summary(resolved_mix, config, report)
     economics = frame_economics(report.total_frames, report.total_energy_j,
                                 report.total_busy_s)
@@ -159,7 +160,8 @@ def _execute_serve(cell: RunConfig, config, mix, seed: int) -> CellResult:
             config, scheduler=scheduler, frames=cell.frames,
             workloads=serve_mix, use_cache=cell.use_cache, seed=seed,
             governor=cell.governor, slo_fps=cell.slo_fps,
-            ray_budget=cell.ray_budget)
+            ray_budget=cell.ray_budget, backend=cell.backend,
+            engine_workers=cell.engine_workers)
         mix_label = ",".join(f"{spec.name}:{count}" for spec, count
                              in apply_slo(serve_mix, cell.slo_fps))
     else:
@@ -169,7 +171,8 @@ def _execute_serve(cell: RunConfig, config, mix, seed: int) -> CellResult:
             frames=cell.frames, scene_names=tuple(cell.scenes) or ("lego",),
             algorithm=cell.algorithm or "directvoxgo",
             use_cache=cell.use_cache, seed=seed,
-            ray_budget=cell.ray_budget)
+            ray_budget=cell.ray_budget, backend=cell.backend,
+            engine_workers=cell.engine_workers)
         mix_label = ""
     row = {
         "governor": cell.governor,

@@ -75,8 +75,15 @@ def run_serve(config: ExperimentConfig = DEFAULT, sessions: int = 8,
               workloads=None, use_cache: bool = True,
               seed: int | None = None, governor: str = "off",
               slo_fps: float | None = None,
-              ray_budget: int | None = None) -> tuple:
+              ray_budget: int | None = None,
+              backend: str | None = None,
+              engine_workers: int | None = None) -> tuple:
     """Serve concurrent users; returns (per-session rows, summary).
+
+    ``backend`` selects the kernel backend for the run (see
+    :mod:`repro.backend`); ``engine_workers`` sizes the ``parallel``
+    backend's pool.  Serving output is bit-identical across ``numpy``
+    and ``parallel``.
 
     ``workloads`` selects a named mix (``"vr-lego:3,dolly-chair"``, a list
     of ``NAME[:N]`` items, or ``(spec, count)`` pairs); when ``None`` the
@@ -128,7 +135,8 @@ def run_serve(config: ExperimentConfig = DEFAULT, sessions: int = 8,
         built, scheduler=make_scheduler(scheduler),
         ray_budget=ray_budget,
         reference_cache=REFERENCE_CACHE if use_cache else None,
-        governor=engine_governor)
+        governor=engine_governor, backend=backend,
+        engine_workers=engine_workers)
     result = engine.run()
 
     # Per-session variants: each spec prices under its own SoC variant

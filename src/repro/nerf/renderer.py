@@ -10,6 +10,7 @@ and can record the gather plan of every batch for the memory experiments.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -56,22 +57,41 @@ class RenderOutput:
 
 
 class NeRFRenderer:
-    """Renders a radiance field through volume rendering, in ray chunks."""
+    """Renders a radiance field through volume rendering, in ray chunks.
+
+    ``backend`` optionally pins a kernel backend (a
+    :mod:`repro.backend` registry name) for this renderer's render
+    calls; ``None`` (the default) uses whatever backend the caller has
+    activated — usually the canonical numpy kernels.
+    """
 
     def __init__(self, fld, sampler: UniformSampler | None = None,
                  background=None, chunk_size: int = 16384,
-                 opacity_threshold: float = 0.5):
+                 opacity_threshold: float = 0.5, backend: str | None = None):
         self.field = fld
         self.sampler = sampler or UniformSampler()
         self.background = background
         self.chunk_size = int(chunk_size)
         self.opacity_threshold = opacity_threshold
+        self.backend = backend
+
+    def _backend_scope(self):
+        """Kernel-dispatch scope for one render call (no-op when unset)."""
+        if self.backend is None:
+            return nullcontext()
+        from ..backend.registry import use_backend
+        return use_backend(self.backend)
 
     # -- core ray rendering ----------------------------------------------------
 
     def render_rays(self, origins: np.ndarray, directions: np.ndarray,
                     record_gather: bool = False) -> RenderOutput:
         """Render a flat bundle of rays; returns per-ray color/depth/opacity."""
+        with self._backend_scope():
+            return self._render_rays(origins, directions, record_gather)
+
+    def _render_rays(self, origins: np.ndarray, directions: np.ndarray,
+                     record_gather: bool = False) -> RenderOutput:
         origins = np.atleast_2d(np.asarray(origins, dtype=float))
         directions = np.atleast_2d(np.asarray(directions, dtype=float))
         num_rays = origins.shape[0]
@@ -149,6 +169,10 @@ class NeRFRenderer:
         returned :class:`RenderOutput` is identical to rendering its bundle
         alone (the sampler must be deterministic, i.e. ``jitter=False``).
         """
+        with self._backend_scope():
+            return self._render_ray_batch(bundles)
+
+    def _render_ray_batch(self, bundles: list) -> list:
         prepped = []
         for origins, directions in bundles:
             o = np.atleast_2d(np.asarray(origins, dtype=float))

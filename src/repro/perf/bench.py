@@ -60,12 +60,17 @@ class BenchContext:
 
     ``reps`` is the per-kernel repetition count (after one untimed
     warmup); ``quick`` selects the FAST config and is surfaced so
-    benchmarks can shrink their synthetic inputs.
+    benchmarks can shrink their synthetic inputs.  ``backend`` and
+    ``engine_workers`` carry the run's kernel-backend selection (see
+    :mod:`repro.backend`) so engine-level benchmarks thread it through
+    to their :class:`~repro.engine.MultiSessionEngine`.
     """
 
     config: ExperimentConfig
     quick: bool
     reps: int
+    backend: str | None = None
+    engine_workers: int | None = None
 
 
 def register(name: str):
@@ -267,7 +272,8 @@ def bench_engine_round(ctx: BenchContext) -> dict:
 
     def serve():
         sessions = build_mixed_sessions(mix, ctx.config, frames=frames)
-        return MultiSessionEngine(sessions).run()
+        return MultiSessionEngine(sessions, backend=ctx.backend,
+                                  engine_workers=ctx.engine_workers).run()
 
     result = serve()  # warmup + work accounting
     wall = _time_reps(serve, reps)
@@ -275,6 +281,57 @@ def bench_engine_round(ctx: BenchContext) -> dict:
     return _row("engine.round", "ray", rays, reps, wall,
                 rounds=result.batch.rounds,
                 frames_per_s=result.total_frames / wall)
+
+
+@register("engine.round.scaling")
+def bench_engine_scaling(ctx: BenchContext) -> list:
+    """Multi-core scaling curve for the batched engine round.
+
+    Serves the same heterogeneous mix serially (``workers=1``, the plain
+    numpy path) and through the ``parallel`` backend's persistent worker
+    pool at 2 and 4 workers (plus ``ctx.engine_workers`` when it names a
+    different point), emitting one ``engine.round.workersN`` row per
+    point with the serial-relative speedup and per-core efficiency
+    (normalised by ``min(N, cores)`` so an undersized host reports
+    honest numbers instead of a guaranteed shortfall).
+    """
+    import os
+
+    from ..engine import MultiSessionEngine
+    from ..workloads import build_mixed_sessions
+
+    frames = 2 if ctx.quick else 4
+    mix = "vr-lego:2,dolly-chair"
+    reps = max(1, ctx.reps // 2)
+    cores = os.cpu_count() or 1
+    counts = [1, 2, 4]
+    if ctx.engine_workers is not None and ctx.engine_workers not in counts:
+        counts.append(ctx.engine_workers)
+
+    rows = []
+    serial_wall = None
+    for workers in sorted(counts):
+        def serve():
+            sessions = build_mixed_sessions(mix, ctx.config, frames=frames)
+            return MultiSessionEngine(
+                sessions,
+                backend=None if workers == 1 else "parallel",
+                engine_workers=None if workers == 1 else workers).run()
+
+        result = serve()  # warmup (pool spin-up, bake caches)
+        wall = _time_reps(serve, reps)
+        if serial_wall is None:
+            serial_wall = wall
+        speedup = serial_wall / wall
+        rows.append(_row(
+            f"engine.round.workers{workers}", "ray",
+            result.batch.total_rays, reps, wall,
+            backend="numpy" if workers == 1 else "parallel",
+            workers=workers, cores=cores,
+            frames_per_s=result.total_frames / wall,
+            speedup_vs_serial=speedup,
+            per_core_efficiency=speedup / min(workers, cores)))
+    return rows
 
 
 @register("cluster.tick")
@@ -339,16 +396,41 @@ def bench_single_session(ctx: BenchContext) -> dict:
                           for r in timer.report()})
 
 
+def _best_of(fn, ctx: BenchContext, repeat: int) -> list:
+    """Run one registered benchmark ``repeat`` times; keep the fastest.
+
+    The fastest attempt (smallest total measured wall time) is the one
+    least polluted by scheduler noise, so best-of-N is what lands in the
+    artifact.  Benchmarks may return one row or a list of rows (the
+    scaling curve); the winning attempt's rows are returned as a list.
+    """
+    best = None
+    for _ in range(repeat):
+        result = fn(ctx)
+        rows = result if isinstance(result, list) else [result]
+        total = sum(row["wall_s"] for row in rows)
+        if best is None or total < best[0]:
+            best = (total, rows)
+    return best[1]
+
+
 def run_benchmarks(config: ExperimentConfig | None = None,
-                   quick: bool = False, kernels: list | None = None
-                   ) -> tuple[list, dict]:
+                   quick: bool = False, kernels: list | None = None,
+                   repeat: int = 3, backend: str | None = None,
+                   engine_workers: int | None = None) -> tuple[list, dict]:
     """Run the registered microbenchmarks; returns ``(rows, extra)``.
 
     ``kernels`` restricts the run to a subset of registry names (unknown
-    names raise ``KeyError``).  ``extra`` carries the environment
-    fingerprint and run mode, and lands in ``BENCH_perf.json``'s
-    ``extra`` block.
+    names raise ``KeyError``).  ``repeat`` runs every benchmark N times
+    and keeps the fastest measurement (best-of-N).  ``backend`` installs
+    a kernel backend (see :mod:`repro.backend`) for the whole run and is
+    recorded in every row's ``backend`` column; ``engine_workers`` sizes
+    the ``parallel`` backend's pool for the engine-level benchmarks.
+    ``extra`` carries the environment fingerprint and run mode, and
+    lands in ``BENCH_perf.json``'s ``extra`` block.
     """
+    from ..backend import use_backend
+
     if config is None:
         config = FAST if quick else DEFAULT
     if kernels is None:
@@ -358,12 +440,25 @@ def run_benchmarks(config: ExperimentConfig | None = None,
         if unknown:
             raise KeyError(f"unknown benchmark kernels {unknown}; "
                            f"registered: {registered_kernels()}")
-    ctx = BenchContext(config=config, quick=quick, reps=2 if quick else 5)
-    rows = [REGISTRY[name](ctx) for name in kernels]
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1 (got {repeat})")
+    ctx = BenchContext(config=config, quick=quick, reps=2 if quick else 5,
+                       backend=backend, engine_workers=engine_workers)
+    rows = []
+    with use_backend(backend) as active:
+        for name in kernels:
+            rows.extend(_best_of(REGISTRY[name], ctx, repeat))
+    for row in rows:
+        # The scaling curve labels its own rows (mixed serial/parallel);
+        # everything else ran under the resolved run-wide backend.
+        row.setdefault("backend", active.name)
+        row["best_of"] = repeat
     extra = {
         "mode": "quick" if quick else "full",
         "environment": environment_fingerprint(),
         "kernels": list(kernels),
+        "backend": active.name,
+        "repeat": repeat,
     }
     # Section breakdowns are per-kernel dicts — structured detail that
     # belongs in the artifact's extra block, not a table column.

@@ -78,13 +78,21 @@ def compare_payloads(baseline: dict, candidate: dict,
         old_ns = float(old_rows[kernel].get("ns_per_op", 0.0))
         new_ns = float(new_rows[kernel].get("ns_per_op", 0.0))
         ratio = new_ns / old_ns if old_ns > 0 else float("inf")
-        regressed = ratio > threshold
+        # Rows measured on different kernel backends are not the same
+        # experiment — report the ratio but never flag it as a
+        # regression (rerun both sides on one backend to gate on it).
+        old_backend = old_rows[kernel].get("backend")
+        new_backend = new_rows[kernel].get("backend")
+        mismatched = (old_backend is not None and new_backend is not None
+                      and old_backend != new_backend)
+        regressed = ratio > threshold and not mismatched
         rows.append({
             "kernel": kernel,
             "baseline_ns_per_op": old_ns,
             "candidate_ns_per_op": new_ns,
             "ratio": ratio,
-            "verdict": ("REGRESSED" if regressed
+            "verdict": ("backend-changed" if mismatched
+                        else "REGRESSED" if regressed
                         else "improved" if ratio < 1.0 else "ok"),
         })
         if regressed:

@@ -1,0 +1,124 @@
+"""Bounded-error contract of the numba backend (skipped without numba).
+
+Every registered kernel's njit implementation must match the canonical
+numpy kernel within its documented tolerance (``NUMBA_ATOL``), across
+hypothesis-generated inputs.  On machines without the ``[perf]`` extra
+these tests skip cleanly — the backend then falls back to numpy and the
+exact-parity suites cover it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend import NUMBA_ATOL, NUMBA_AVAILABLE, get_backend, kernel_defaults
+from repro.geometry import Intrinsics
+
+pytestmark = pytest.mark.skipif(
+    not NUMBA_AVAILABLE, reason="numba is not installed (the [perf] extra)")
+
+COMMON = {"max_examples": 15, "deadline": None}
+
+
+def _impls(kernel: str):
+    return get_backend("numba").kernel(kernel), kernel_defaults()[kernel]
+
+
+class TestNumbaBoundedError:
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 256),
+           resolution=st.integers(2, 12))
+    @settings(**COMMON)
+    def test_trilinear_gather(self, seed, n, resolution):
+        numba_fn, numpy_fn = _impls("field.trilinear_gather")
+        rng = np.random.default_rng(seed)
+        coords01 = rng.uniform(-0.2, 1.2, size=(n, 3))
+        base_n, offsets_n, (omf_n, frac_n) = numba_fn(coords01, resolution)
+        base_r, offsets_r, (omf_r, frac_r) = numpy_fn(coords01, resolution)
+        assert np.array_equal(base_n, base_r)
+        assert np.array_equal(offsets_n, offsets_r)
+        assert np.array_equal(omf_n, omf_r)
+        assert np.array_equal(frac_n, frac_r)
+
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 256),
+           features=st.integers(1, 8))
+    @settings(**COMMON)
+    def test_accumulate_gather(self, seed, n, features):
+        numba_fn, numpy_fn = _impls("field.accumulate_gather")
+        _, setup = _impls("field.trilinear_gather")
+        rng = np.random.default_rng(seed)
+        resolution = 8
+        base, offsets, weights = setup(rng.uniform(size=(n, 3)), resolution)
+        table = rng.normal(size=((resolution + 1) ** 3, features))
+        got = numba_fn(table, base, offsets, weights)
+        want = numpy_fn(table, base, offsets, weights)
+        assert np.allclose(got, want,
+                           atol=NUMBA_ATOL["field.accumulate_gather"],
+                           rtol=0.0)
+
+    @given(seed=st.integers(0, 2**32 - 1), h=st.integers(2, 24),
+           w=st.integers(2, 24))
+    @settings(**COMMON)
+    def test_warp_gather(self, seed, h, w):
+        numba_fn, numpy_fn = _impls("warp.gather")
+        rng = np.random.default_rng(seed)
+        depth = rng.uniform(0.1, 10.0, size=(h, w))
+        intrinsics = Intrinsics.from_fov(w, h, 50.0)
+        assert np.array_equal(numba_fn(depth, intrinsics),
+                              numpy_fn(depth, intrinsics))
+
+    @given(seed=st.integers(0, 2**32 - 1), points=st.integers(1, 512),
+           pixels=st.integers(1, 64))
+    @settings(**COMMON)
+    def test_warp_scatter(self, seed, points, pixels):
+        numba_fn, numpy_fn = _impls("warp.scatter")
+        rng = np.random.default_rng(seed)
+        flat_ids = rng.integers(0, pixels, size=points)
+        # Quantized depths force ties, so the last-wins rule is exercised.
+        z = rng.integers(1, 5, size=points).astype(float)
+        src = rng.permutation(points)
+        colors = rng.uniform(size=(points, 3))
+        buffers = []
+        for fn in (numba_fn, numpy_fn):
+            image = np.zeros((pixels, 3))
+            depth = np.full(pixels, np.inf)
+            source_index = np.full(pixels, -1)
+            fn(flat_ids, z, src, colors, image, depth, source_index)
+            buffers.append((image, depth, source_index))
+        for got, want in zip(*buffers):
+            assert np.array_equal(got, want)
+
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 512))
+    @settings(**COMMON)
+    def test_disocclusion_classify(self, seed, n):
+        numba_fn, numpy_fn = _impls("disocclusion.classify")
+        rng = np.random.default_rng(seed)
+        covered = rng.uniform(size=n) < 0.7
+        hole = ~covered & (rng.uniform(size=n) < 0.5)
+        angle = rng.uniform(0.0, 60.0, size=n)
+        got = numba_fn(covered, hole, angle, 30.0)
+        want = numpy_fn(covered, hole, angle, 30.0)
+        for got_mask, want_mask in zip(got, want):
+            assert np.array_equal(got_mask, want_mask)
+
+    @given(seed=st.integers(0, 2**32 - 1), rays=st.integers(1, 64),
+           per_ray=st.integers(1, 32))
+    @settings(**COMMON)
+    def test_volume_composite(self, seed, rays, per_ray):
+        numba_fn, numpy_fn = _impls("volume.composite")
+        rng = np.random.default_rng(seed)
+        count = rays * per_ray
+        sigmas = rng.uniform(0.0, 50.0, size=count)
+        rgbs = rng.uniform(size=(count, 3))
+        t_values = np.tile(np.linspace(0.5, 4.0, per_ray), rays)
+        deltas = np.full(count, 3.5 / per_ray)
+        ray_index = np.repeat(np.arange(rays), per_ray)
+        got = numba_fn(sigmas, rgbs, t_values, deltas, ray_index, rays)
+        want = numpy_fn(sigmas, rgbs, t_values, deltas, ray_index, rays)
+        atol = NUMBA_ATOL["volume.composite"]
+        assert np.allclose(got.rgb, want.rgb, atol=atol, rtol=0.0)
+        assert np.allclose(got.opacity, want.opacity, atol=atol, rtol=0.0)
+        finite = np.isfinite(want.depth)
+        assert np.array_equal(finite, np.isfinite(got.depth))
+        assert np.allclose(got.depth[finite], want.depth[finite],
+                           atol=1e-4, rtol=1e-6)

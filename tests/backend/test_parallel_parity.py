@@ -1,0 +1,65 @@
+"""Exact-parity contract of the parallel backend's worker pool.
+
+Workers rebuild the renderer from shared-memory baked tables and run the
+same deterministic numpy kernels, so every per-bundle result must be
+bit-identical to calling ``render_rays`` on the exporting process.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend.parallel import WorkerPool, supports_parallel
+from repro.harness.configs import make_camera
+from repro.scenes import orbit_trajectory
+
+
+@pytest.fixture(scope="module")
+def bundles(fast_config):
+    camera = make_camera(fast_config)
+    trajectory = orbit_trajectory(3, radius=fast_config.orbit_radius,
+                                  degrees_per_frame=15.0)
+    out = []
+    for pose in trajectory.poses:
+        origins, directions = camera.with_pose(pose).generate_rays()
+        out.append((origins.reshape(-1, 3), directions.reshape(-1, 3)))
+    return out
+
+
+@pytest.fixture(scope="module")
+def pool_results(fast_renderer, bundles):
+    pool = WorkerPool(2)
+    try:
+        return pool.render_bundles(fast_renderer, bundles)
+    finally:
+        pool.shutdown()
+
+
+class TestPoolParity:
+    def test_supports_fast_renderer(self, fast_renderer):
+        assert supports_parallel(fast_renderer)
+
+    def test_rejects_jittered_sampler(self, fast_renderer):
+        from repro.nerf import NeRFRenderer, UniformSampler
+        sampler = fast_renderer.sampler
+        jittered = NeRFRenderer(
+            fast_renderer.field,
+            UniformSampler(sampler.num_samples,
+                           occupancy=sampler.occupancy, jitter=True))
+        assert not supports_parallel(jittered)
+
+    def test_bundle_outputs_bit_identical(self, fast_renderer, bundles,
+                                          pool_results):
+        assert len(pool_results) == len(bundles)
+        for (origins, directions), result in zip(bundles, pool_results):
+            rgb, depth_t, opacity, stats = result
+            serial = fast_renderer.render_rays(origins, directions)
+            assert np.array_equal(rgb, serial.rgb)
+            assert np.array_equal(depth_t, serial.depth_t, equal_nan=True)
+            assert np.array_equal(opacity, serial.opacity)
+
+    def test_bundle_stats_identical(self, fast_renderer, bundles,
+                                    pool_results):
+        for (origins, directions), result in zip(bundles, pool_results):
+            stats = result[3]
+            serial = fast_renderer.render_rays(origins, directions)
+            assert stats == serial.stats

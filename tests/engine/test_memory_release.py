@@ -1,0 +1,52 @@
+"""Engine runs release scratch arenas and geometry memos at exit.
+
+``MultiSessionEngine.run()`` must leave no per-run working memory
+behind: the sampling scratch arenas, memoised camera direction grids,
+and depth-lift grids are cleared in its ``finally`` block (and pool
+workers clear their own on a ``release`` broadcast), so repeated runs
+in one process cannot accumulate arena growth.
+"""
+
+from repro.engine import MultiSessionEngine
+from repro.harness.configs import FAST
+from repro.workloads import build_mixed_sessions
+
+
+def _arena_sizes() -> tuple:
+    from repro.geometry.camera import _DIR_GRID_CACHE
+    from repro.geometry.pointcloud import _LIFT_CACHE
+    from repro.nerf.sampling import _SCRATCH
+    return (len(_SCRATCH), len(_DIR_GRID_CACHE), len(_LIFT_CACHE))
+
+
+def _run():
+    sessions = build_mixed_sessions("vr-lego,dolly-chair", FAST,
+                                    frames=2, seed=5)
+    return MultiSessionEngine(sessions).run()
+
+
+class TestMemoryRelease:
+    def test_run_exit_clears_arenas(self):
+        result = _run()
+        assert result.total_frames > 0  # the run really rendered
+        assert _arena_sizes() == (0, 0, 0)
+
+    def test_no_cross_run_growth(self):
+        sizes = []
+        for _ in range(3):
+            _run()
+            sizes.append(_arena_sizes())
+        assert sizes == [(0, 0, 0)] * 3
+
+    def test_release_hook_clears_populated_arenas(self):
+        import numpy as np
+
+        from repro.backend.parallel import release_process_memory
+        from repro.geometry.camera import _DIR_GRID_CACHE
+        from repro.nerf.sampling import _scratch
+
+        _scratch("test-slot", (64,), np.float64)
+        _DIR_GRID_CACHE["sentinel"] = None
+        assert _arena_sizes() != (0, 0, 0)
+        release_process_memory()
+        assert _arena_sizes() == (0, 0, 0)

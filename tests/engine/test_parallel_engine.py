@@ -1,0 +1,64 @@
+"""Serial vs parallel-backend engine runs are bit-identical.
+
+The ``parallel`` backend fans deterministic sessions' ray bundles to the
+worker pool, so the whole :class:`EngineResult` — frames, per-frame
+records, batch statistics, and scheduler/session order — must match the
+serial run exactly on a seeded mixed workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import MultiSessionEngine
+from repro.harness.configs import FAST
+from repro.workloads import build_mixed_sessions
+
+MIX = "vr-lego:2,dolly-chair"
+FRAMES = 3
+SEED = 11
+
+
+def _run(backend=None, engine_workers=None):
+    sessions = build_mixed_sessions(MIX, FAST, frames=FRAMES, seed=SEED)
+    engine = MultiSessionEngine(sessions, backend=backend,
+                                engine_workers=engine_workers)
+    return engine.run()
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return _run()
+
+
+@pytest.fixture(scope="module")
+def parallel_result():
+    return _run(backend="parallel", engine_workers=2)
+
+
+class TestSerialParallelParity:
+    def test_session_order_identical(self, serial_result, parallel_result):
+        assert ([s.session_id for s in serial_result.sessions]
+                == [s.session_id for s in parallel_result.sessions])
+
+    def test_batch_stats_identical(self, serial_result, parallel_result):
+        serial, parallel = serial_result.batch, parallel_result.batch
+        assert serial.nerf_calls == parallel.nerf_calls
+        assert serial.requests == parallel.requests
+        assert serial.total_rays == parallel.total_rays
+        assert serial.max_batch_rays == parallel.max_batch_rays
+        assert serial.rounds == parallel.rounds
+
+    def test_frames_identical(self, serial_result, parallel_result):
+        assert serial_result.total_frames == parallel_result.total_frames
+        for ss, ps in zip(serial_result.sessions, parallel_result.sessions):
+            for sf, pf in zip(ss.result.frames, ps.result.frames):
+                assert np.array_equal(sf.image, pf.image)
+                assert np.array_equal(sf.depth, pf.depth, equal_nan=True)
+
+    def test_records_identical(self, serial_result, parallel_result):
+        for ss, ps in zip(serial_result.sessions, parallel_result.sessions):
+            for sr, pr in zip(ss.result.records, ps.result.records):
+                assert sr.frame_index == pr.frame_index
+                assert sr.new_reference == pr.new_reference
+                assert sr.sparse_stats == pr.sparse_stats
+                assert sr.reference_stats == pr.reference_stats
