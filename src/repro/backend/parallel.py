@@ -339,6 +339,9 @@ class WorkerPool:
         The renderer's spec ships with the first task each worker sees
         for it; afterwards only the token crosses the boundary.
         """
+        from ..obs.runtime import metric_inc
+        metric_inc("pool.dispatches")
+        metric_inc("pool.bundles", len(bundles))
         task_ids = []
         token, spec = renderer_spec(renderer)
         for origins, directions in bundles:

@@ -16,10 +16,12 @@ one seed reproduces an identical :class:`ClusterReport`.
 from __future__ import annotations
 
 import heapq
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from ..metrics.stats import mean_or_zero as _mean
 from ..metrics.stats import percentile_or_zero as _percentile
+from ..obs.runtime import current_metrics, current_tracer
 from .admission import REJECT_QUEUE_FULL, AdmissionController
 from .arrivals import make_arrivals
 from .autoscale import Autoscaler
@@ -166,6 +168,10 @@ class ClusterSimulator:
         self._event_seq = 0
         self._heap: list = []
         self._makespan = 0.0
+        # Observability sinks, refreshed at run() so an activation made
+        # after construction still captures the run; None = no-op hooks.
+        self._tracer = None
+        self._metrics = None
 
     # -- fleet -------------------------------------------------------------------
 
@@ -211,14 +217,32 @@ class ClusterSimulator:
         if action == "up":
             self._booting += 1
             self._push(payload, _P_WORKER_UP, "worker_up", None)
+            if self._metrics is not None:
+                self._metrics.inc("cluster.scale_up_requests")
+            if self._tracer is not None:
+                self._control_instant("scale.up_requested", "cluster",
+                                      now_s, "autoscaler",
+                                      {"ready_s": payload})
         else:
             payload.retire(now_s)
+            if self._metrics is not None:
+                self._metrics.inc("cluster.scale_downs")
+                self._metrics.set("cluster.workers", len(self._live()))
+            if self._tracer is not None:
+                self._control_instant("scale.down", "cluster", now_s,
+                                      "autoscaler",
+                                      {"worker": payload.worker_id})
 
     def _on_arrival(self, now_s: float, arrival) -> None:
         # Overrides change the spec's content hash, so placement and the
         # worker must both see the same effective spec.
         spec = arrival.spec.with_overrides(frames=self.frames,
                                            seed_offset=self.seed)
+        if self._metrics is not None:
+            self._metrics.inc("cluster.arrivals")
+        if self._tracer is not None:
+            self._control_instant("cluster.arrival", "cluster", now_s,
+                                  "arrivals", {"spec": spec.name})
         eligible, reason = self.admission.eligible(self._live())
         if reason == REJECT_QUEUE_FULL and self.governor is not None:
             # Graceful shedding: degrade the least-loaded worker's
@@ -233,6 +257,12 @@ class ClusterSimulator:
                 return
         if reason is not None:
             self.admission.record_reject(reason)
+            if self._metrics is not None:
+                self._metrics.inc("cluster.rejected")
+            if self._tracer is not None:
+                self._control_instant("cluster.reject", "cluster", now_s,
+                                      "arrivals", {"spec": spec.name,
+                                                   "reason": reason})
             return
         worker = self.placement.choose(spec.cache_key(self.config), eligible)
         level = (self.governor.admission_level(spec, worker)
@@ -244,7 +274,21 @@ class ClusterSimulator:
                action: str | None) -> None:
         session_id = f"a{self._session_seq:04d}-{spec.name}"
         self._session_seq += 1
-        worker.admit(session_id, spec, now_s, level=level)
+        if self._metrics is not None:
+            self._metrics.inc("cluster.admitted")
+        if self._tracer is not None:
+            self._control_instant("cluster.admit", "cluster", now_s,
+                                  "arrivals",
+                                  {"session": session_id,
+                                   "worker": worker.worker_id,
+                                   "level": level})
+            pid = self._tracer.process(f"worker {worker.worker_id}")
+            self._tracer.instant(
+                "cluster.place", "cluster", now_s * 1e6, pid,
+                self._tracer.thread(pid, session_id),
+                args={"session": session_id, "level": level})
+        with self._worker_scope(worker, now_s):
+            worker.admit(session_id, spec, now_s, level=level)
         self.admission.record_admit()
         if self.governor is not None:
             self.governor.register(session_id, spec, level)
@@ -259,7 +303,9 @@ class ClusterSimulator:
             target = min(placed.level + 1, placed.spec.max_quality_level)
             if target == placed.level:
                 continue
-            if worker.retune_session(placed, target):
+            with self._worker_scope(worker, now_s):
+                retuned = worker.retune_session(placed, target)
+            if retuned:
                 self.governor.governor.pin(placed.session_id, target)
                 self._governor_event(now_s, "shed_degrade",
                                      placed.session_id, worker, target)
@@ -269,6 +315,60 @@ class ClusterSimulator:
         self.governor_events.append({
             "t": now_s, "action": action, "session": session_id,
             "worker": worker.worker_id, "level": level})
+        if self._metrics is not None:
+            self._metrics.inc("governor.cluster_events")
+        if self._tracer is not None:
+            self._control_instant(f"governor.{action}", "governor", now_s,
+                                  "governor",
+                                  {"session": session_id,
+                                   "worker": worker.worker_id,
+                                   "level": level})
+
+    # -- observability ----------------------------------------------------------
+    #
+    # All read-only: instants/spans on the virtual clock plus counter and
+    # histogram bumps.  Every hook is a None check when nothing is active,
+    # and nothing here feeds back into scheduling, so traced runs stay
+    # bit-identical to untraced runs (tests/obs/test_obs_parity.py).
+
+    def _control_instant(self, name: str, cat: str, now_s: float,
+                         thread: str, args: dict | None = None) -> None:
+        tracer = self._tracer
+        pid = tracer.process("cluster")
+        tracer.instant(name, cat, now_s * 1e6, pid,
+                       tracer.thread(pid, thread), args=args)
+
+    def _worker_scope(self, worker: Worker, now_s: float):
+        """Context routing engine trace spans into the worker's lane."""
+        if self._tracer is None:
+            return nullcontext()
+        return self._tracer.scope(f"worker {worker.worker_id}",
+                                  base_us=now_s * 1e6)
+
+    def _trace_frame(self, worker: Worker, session, now_s: float) -> None:
+        """Emit wait/serve spans for the frame completing at ``now_s``."""
+        k = session.next_frame
+        request_s = session.request_time(k)
+        start_s = now_s - session.frame_costs[k]
+        latency_s = max(now_s - request_s, 0.0)
+        if self._metrics is not None:
+            self._metrics.inc("cluster.frames")
+            self._metrics.observe("cluster.frame_latency_s", latency_s)
+            if k == 0:
+                self._metrics.observe("cluster.ttff_s",
+                                      max(now_s - session.arrival_s, 0.0))
+        tracer = self._tracer
+        if tracer is None:
+            return
+        pid = tracer.process(f"worker {worker.worker_id}")
+        tid = tracer.thread(pid, session.session_id)
+        args = {"session": session.session_id, "frame": k,
+                "latency_ms": latency_s * 1e3}
+        tracer.complete("frame.wait", "frame", request_s * 1e6,
+                        max(start_s - request_s, 0.0) * 1e6, pid, tid,
+                        args=args)
+        tracer.complete("frame.serve", "frame", start_s * 1e6,
+                        (now_s - start_s) * 1e6, pid, tid, args=args)
 
     # -- run ---------------------------------------------------------------------
 
@@ -278,6 +378,10 @@ class ClusterSimulator:
         The report records the constructor's ``seed`` (the one that
         offset the specs), so a run is replayable from its own report.
         """
+        self._tracer = current_tracer()
+        self._metrics = current_metrics()
+        if self._metrics is not None:
+            self._metrics.set("cluster.workers", len(self._live()))
         for arrival in sorted(arrivals, key=lambda a: a.time_s):
             self._push(arrival.time_s, _P_ARRIVAL, "arrival", arrival)
         while self._heap:
@@ -287,19 +391,23 @@ class ClusterSimulator:
                 self._autoscale(now_s)
             elif kind == "frame_done":
                 worker, session = payload
+                self._trace_frame(worker, session, now_s)
                 worker.finish_frame(session, now_s)
                 self._makespan = max(self._makespan, now_s)
                 if self.governor is not None and not session.done:
                     old_level = session.level
                     new_level = self.governor.on_frame(
                         session.session_id, session.latencies_s[-1])
-                    if new_level is not None \
-                            and worker.retune_session(session, new_level):
-                        self._governor_event(
-                            now_s,
-                            "degrade" if new_level > old_level else
-                            "recover", session.session_id, worker,
-                            new_level)
+                    if new_level is not None:
+                        with self._worker_scope(worker, now_s):
+                            retuned = worker.retune_session(session,
+                                                            new_level)
+                        if retuned:
+                            self._governor_event(
+                                now_s,
+                                "degrade" if new_level > old_level else
+                                "recover", session.session_id, worker,
+                                new_level)
                 self._dispatch(worker, now_s)
                 self._autoscale(now_s)
             elif kind == "worker_up":
@@ -307,6 +415,14 @@ class ClusterSimulator:
                 worker = self._spawn(now_s)
                 self.autoscaler.record_up_completed(now_s,
                                                     len(self._live()))
+                if self._metrics is not None:
+                    self._metrics.inc("cluster.scale_ups")
+                    self._metrics.set("cluster.workers",
+                                      len(self._live()))
+                if self._tracer is not None:
+                    self._control_instant("scale.up_completed", "cluster",
+                                          now_s, "autoscaler",
+                                          {"worker": worker.worker_id})
             else:  # wake
                 self._dispatch(payload, now_s)
         return self._report(label)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from ..hw.serving import price_frame_record
 from ..hw.soc import SoCModel
+from ..obs.runtime import current_tracer, metric_inc
 from .governor import GovernorPolicy, QualityGovernor
 from .tiers import spec_at_level
 
@@ -105,6 +106,16 @@ class EngineGovernor:
         self.events.append({
             "clock_s": self.clock_s, "session": session.session_id,
             "frame": session.frames_completed, "level": level})
+        metric_inc("governor.engine_transitions")
+        tracer = current_tracer()
+        if tracer is not None:
+            pid, base_us = tracer.current_scope("engine")
+            tracer.instant(
+                "governor.retune", "governor",
+                base_us + self.clock_s * 1e6, pid,
+                tracer.thread(pid, "governor"),
+                args={"session": session.session_id, "level": level,
+                      "frame": session.frames_completed})
 
     # -- reporting ---------------------------------------------------------------
 

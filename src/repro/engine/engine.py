@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs.runtime import current_metrics, current_tracer
+from ..obs.tracer import WORK_US_PER_RAY
 from ..perf.timer import section
 from ..workloads.cache import pose_hash
 from .scheduler import RoundRobinScheduler
@@ -171,6 +173,9 @@ class MultiSessionEngine:
         self.backend = backend
         self.engine_workers = engine_workers
         self._pool = None
+        # Trace lane state while a tracer is active (see _trace_setup);
+        # None keeps every hook on the no-op fast path.
+        self._trace = None
 
     def run(self) -> EngineResult:
         """Serve every session to completion; returns the combined result.
@@ -196,24 +201,119 @@ class MultiSessionEngine:
         round_index = 0
         if self.governor is not None:
             self.governor.attach(self.sessions)
-        while True:
-            active = [s for s in self.sessions if not s.done]
-            if not active:
-                break
-            ordered = self.scheduler.order(active, round_index)
-            served = self._select(ordered)
-            with section("engine.round"):
-                if self.governor is None:
-                    self._serve_round(served, stats)
-                else:
-                    frames_before = [(s, s.result.num_frames) for s in served]
-                    self._serve_round(served, stats)
-                    for session, before in frames_before:
-                        for record in session.result.records[before:]:
-                            self.governor.observe_record(session, record)
-            stats.rounds += 1
-            round_index += 1
+        self._trace_setup()
+        metrics = current_metrics()
+        try:
+            while True:
+                active = [s for s in self.sessions if not s.done]
+                if not active:
+                    break
+                ordered = self.scheduler.order(active, round_index)
+                served = self._select(ordered)
+                before = (stats.requests, stats.total_rays,
+                          stats.nerf_calls, stats.cache_hits)
+                with section("engine.round"):
+                    if self.governor is None:
+                        self._serve_round(served, stats)
+                    else:
+                        frames_before = [(s, s.result.num_frames)
+                                         for s in served]
+                        self._serve_round(served, stats)
+                        for session, frames in frames_before:
+                            for record in session.result.records[frames:]:
+                                self.governor.observe_record(session, record)
+                stats.rounds += 1
+                self._trace_round(round_index, len(served), stats, before)
+                if metrics is not None:
+                    metrics.inc("engine.rounds")
+                    metrics.inc("engine.requests",
+                                stats.requests - before[0])
+                    metrics.inc("engine.rays", stats.total_rays - before[1])
+                    metrics.inc("engine.nerf_calls",
+                                stats.nerf_calls - before[2])
+                    metrics.inc("engine.cache_hits",
+                                stats.cache_hits - before[3])
+                    metrics.observe("engine.round_rays",
+                                    stats.total_rays - before[1])
+                round_index += 1
+        finally:
+            self._trace = None
         return EngineResult(sessions=list(self.sessions), batch=stats)
+
+    # -- tracing ----------------------------------------------------------------
+    #
+    # The engine has no clock of its own, so its spans run on a synthetic
+    # work clock (1 ray = WORK_US_PER_RAY trace-us) anchored at the
+    # enclosing scope's base time — inside a cluster worker that is the
+    # admit instant, so engine activity draws as a short burst there.
+
+    def _trace_setup(self) -> None:
+        tracer = current_tracer()
+        if tracer is None:
+            self._trace = None
+            return
+        pid, base_us = tracer.current_scope("engine")
+        self._trace = {
+            "tracer": tracer,
+            "pid": pid,
+            "rounds_tid": tracer.thread(pid, "rounds"),
+            "cursor_us": base_us,
+        }
+
+    def _trace_round(self, round_index: int, sessions: int,
+                     stats: BatchStats, before: tuple) -> None:
+        trace = self._trace
+        if trace is None:
+            return
+        rays = stats.total_rays - before[1]
+        start_us = trace.get("round_start_us", trace["cursor_us"])
+        duration = max(trace["cursor_us"] - start_us,
+                       rays * WORK_US_PER_RAY, 0.01)
+        trace["tracer"].complete(
+            "engine.round", "engine", start_us, duration,
+            trace["pid"], trace["rounds_tid"],
+            args={"round": round_index, "sessions": sessions,
+                  "requests": stats.requests - before[0],
+                  "rays": rays,
+                  "nerf_calls": stats.nerf_calls - before[2],
+                  "cache_hits": stats.cache_hits - before[3]})
+        trace["cursor_us"] = start_us + duration
+        trace["round_start_us"] = trace["cursor_us"]
+
+    def _trace_render(self, session: RenderSession, rays: int) -> None:
+        trace = self._trace
+        if trace is None:
+            return
+        tracer = trace["tracer"]
+        trace.setdefault("round_start_us", trace["cursor_us"])
+        duration = max(rays * WORK_US_PER_RAY, 0.01)
+        tracer.complete(
+            "frame.render", "frame", trace["cursor_us"], duration,
+            trace["pid"], tracer.thread(trace["pid"], session.session_id),
+            args={"session": session.session_id, "rays": rays})
+        trace["cursor_us"] += duration
+
+    def _trace_cache(self, session: RenderSession, hit: bool) -> None:
+        trace = self._trace
+        if trace is None:
+            return
+        tracer = trace["tracer"]
+        trace.setdefault("round_start_us", trace["cursor_us"])
+        tracer.instant(
+            "cache.hit" if hit else "cache.miss", "cache",
+            trace["cursor_us"], trace["pid"],
+            tracer.thread(trace["pid"], session.session_id),
+            args={"session": session.session_id})
+
+    def _trace_dispatch(self, group: int, bundles: int) -> None:
+        trace = self._trace
+        if trace is None:
+            return
+        trace.setdefault("round_start_us", trace["cursor_us"])
+        trace["tracer"].instant(
+            "pool.dispatch", "pool", trace["cursor_us"],
+            trace["pid"], trace["rounds_tid"],
+            args={"group": group, "bundles": bundles})
 
     def _release_memory(self) -> None:
         """Drop scratch arenas and geometry memos after a run.
@@ -332,8 +432,10 @@ class MultiSessionEngine:
                 cached = self.reference_cache.get(ckey)
                 if cached is not None:
                     stats.cache_hits += 1
+                    self._trace_cache(session, hit=True)
                     session.deliver(cached)
                     continue
+                self._trace_cache(session, hit=False)
                 followers[ckey] = []
             key = batch_key(session.renderer)
             if key is None:  # stochastic sampler: one call per request
@@ -357,6 +459,7 @@ class MultiSessionEngine:
                                 s.pending_request.directions)
                                for s, _ in members]
                     tickets[gi] = self._pool.submit_bundles(renderer, bundles)
+                    self._trace_dispatch(gi, len(bundles))
 
         for gi, members in enumerate(group_list):
             renderer = members[0][0].renderer
@@ -375,10 +478,12 @@ class MultiSessionEngine:
             batch_rays = sum(r.num_rays for r in requests)
             stats.total_rays += batch_rays
             stats.max_batch_rays = max(stats.max_batch_rays, batch_rays)
-            for (session, ckey), output in zip(members, outputs):
+            for (session, ckey), request, output in zip(members, requests,
+                                                        outputs):
                 if ckey is not None:
                     self.reference_cache.put(ckey, output,
                                              size_bytes=self._output_size(output))
+                self._trace_render(session, request.num_rays)
                 session.deliver(output)
                 for follower in (followers.get(ckey, ())
                                  if ckey is not None else ()):
@@ -386,4 +491,5 @@ class MultiSessionEngine:
                     # coalesced requests register as cache hits too.
                     shared = self.reference_cache.get(ckey)
                     stats.cache_hits += 1
+                    self._trace_cache(follower, hit=True)
                     follower.deliver(shared if shared is not None else output)

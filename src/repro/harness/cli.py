@@ -19,6 +19,8 @@ open-loop cluster simulator from a shell::
     python -m repro.harness.cli experiment --table t.json --resume --out runs
     python -m repro.harness.cli bench --quick
     python -m repro.harness.cli bench --kernels single_session.sparw
+    python -m repro.harness.cli cluster --fast --trace run.trace.json
+    python -m repro.harness.cli trace analyze run.trace.json --top 20
 
 ``--fast`` uses the reduced test-scale configuration (seconds per figure);
 the default scale matches the benchmarks (minutes for the quality figures).
@@ -31,6 +33,9 @@ workers with admission control, placement, and optional autoscaling;
 ``--seed`` makes every stochastic run reproducible.  ``experiment``
 executes a factorial run table of such cells (``--table table.json``,
 ``--resume`` to complete an interrupted run; see docs/experiments.md).
+``--trace PATH`` records any serve/cluster/frontier/experiment run as
+Chrome Trace Event JSON, and ``trace analyze PATH`` summarises such a
+trace from the artifact alone (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -55,6 +60,13 @@ CLUSTER_COMMAND = "cluster"
 FRONTIER_COMMAND = "frontier"
 BENCH_COMMAND = "bench"
 EXPERIMENT_COMMAND = "experiment"
+TRACE_COMMAND = "trace"
+
+# Commands that run under an observability activation: metrics are
+# always collected into their BENCH artifacts, and --trace additionally
+# records a Chrome Trace Event JSON of the run.
+OBSERVED_COMMANDS = (SERVE_COMMAND, CLUSTER_COMMAND, FRONTIER_COMMAND,
+                     EXPERIMENT_COMMAND)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,9 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="figure id (e.g. fig07), 'all', 'serve', 'cluster', "
              "'frontier' (quality-vs-throughput sweep), 'experiment' "
              "(factorial run table from --table), 'bench' (hot-path "
-             "microbenchmarks -> BENCH_perf.json), 'workloads' to "
+             "microbenchmarks -> BENCH_perf.json), 'trace' (analyze a "
+             "--trace artifact: trace analyze PATH), 'workloads' to "
              "list the named workload registry, or 'list' to print "
              "available ids")
+    parser.add_argument(
+        "extra", nargs="*", metavar="...",
+        help="subcommand arguments (only 'trace' takes any: "
+             "'analyze PATH')")
     parser.add_argument(
         "--fast", action="store_true",
         help="use the reduced test-scale configuration")
@@ -125,6 +142,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker-process count for --backend parallel "
                              "(default 2); rejected with the in-process "
                              "backends")
+    shared.add_argument("--trace", metavar="PATH", default=None,
+                        help="record the run as Chrome Trace Event JSON "
+                             "at PATH (load in chrome://tracing or "
+                             "Perfetto; inspect with 'trace analyze "
+                             "PATH'); also honoured by 'experiment'")
     shared.add_argument("--seed", type=int, default=0,
                         help="seed for every stochastic choice (trajectory "
                              "sampling, arrival schedule); same seed, same "
@@ -193,7 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--queue-limit", type=int, default=None,
                          help="max resident sessions per worker before "
                               "admission rejects (default 4)")
-    cluster.add_argument("--trace", metavar="PATH", default=None,
+    cluster.add_argument("--arrival-trace", metavar="PATH", default=None,
                          help="JSON arrival trace for --arrivals replay")
     cluster.add_argument("--autoscale", action="store_true",
                          help="scale the fleet on load between "
@@ -208,6 +230,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="provisioning delay in virtual seconds "
                               "before a scaled-up worker takes sessions "
                               "(default 1.0; requires --autoscale)")
+    trace = parser.add_argument_group(
+        "trace options", "only used with the 'trace' command")
+    trace.add_argument("--top", type=int, default=10, metavar="N",
+                       help="rows per 'trace analyze' ranking (slowest "
+                            "frames/spans; default 10)")
     experiment = parser.add_argument_group(
         "experiment options", "only used with the 'experiment' command")
     experiment.add_argument("--table", metavar="PATH", default=None,
@@ -346,8 +373,10 @@ def run_bench_command(args, config) -> int:
         return 2
     elapsed = time.time() - started
     # Rows are heterogeneous (per-kernel derived metrics); show the union
-    # of their columns instead of the first row's keys.
-    columns = list(dict.fromkeys(key for row in rows for key in row))
+    # of their columns instead of the first row's keys.  The per-kernel
+    # "sections" dicts are structured artifact detail, not a table cell.
+    columns = list(dict.fromkeys(key for row in rows for key in row
+                                 if key != "sections"))
     print_table(rows, columns=columns,
                 title=f"bench: {len(rows)} kernels ({elapsed:.1f}s wall)")
     # Bench runs are the perf trajectory: every run persists its
@@ -400,6 +429,19 @@ def run_frontier_command(args, config) -> int:
     return 0
 
 
+def run_trace_command(args) -> int:
+    from ..obs.analyze import main as analyze_main
+    if len(args.extra) != 2 or args.extra[0] != "analyze":
+        print("trace: usage: trace analyze PATH [--top N]",
+              file=sys.stderr)
+        return 2
+    if args.top < 1:
+        print(f"trace: --top must be >= 1 (got {args.top})",
+              file=sys.stderr)
+        return 2
+    return analyze_main(args.extra[1], top=args.top)
+
+
 def run_experiment_command(args) -> int:
     from .runner import ExperimentTable, run_table
     if args.table is None:
@@ -434,6 +476,24 @@ def run_experiment_command(args) -> int:
     return 0
 
 
+def _run_observed(args, command) -> int:
+    """Run one observed command under an obs activation.
+
+    Metrics are always registered (they snapshot into the command's
+    BENCH artifacts via ``bench_payload``); a tracer is attached only
+    with ``--trace PATH``, and the trace is written after a successful
+    run.
+    """
+    from ..obs import MetricsRegistry, Observation, Tracer, activate
+    tracer = Tracer() if args.trace is not None else None
+    with activate(Observation(tracer=tracer, metrics=MetricsRegistry())):
+        code = command()
+    if tracer is not None and code == 0:
+        path = tracer.write(args.trace)
+        print(f"wrote {path} ({len(tracer)} trace events)")
+    return code
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     config = FAST if args.fast else DEFAULT
@@ -445,6 +505,16 @@ def main(argv=None) -> int:
             print(f"--json-out: {args.json_out!r} exists and is not a "
                   "directory", file=sys.stderr)
             return 2
+    if args.extra and args.figure != TRACE_COMMAND:
+        print(f"{args.figure}: unexpected argument(s) "
+              f"{' '.join(args.extra)!r} (only the 'trace' command takes "
+              "positional arguments)", file=sys.stderr)
+        return 2
+    if args.trace is not None and args.figure not in OBSERVED_COMMANDS:
+        print(f"--trace applies to {'/'.join(OBSERVED_COMMANDS)} runs "
+              "(use 'trace analyze PATH' to inspect an existing trace)",
+              file=sys.stderr)
+        return 2
 
     if args.figure == "list":
         for name in sorted(EXPERIMENTS):
@@ -454,20 +524,25 @@ def main(argv=None) -> int:
         print(EXPERIMENT_COMMAND)
         print(FRONTIER_COMMAND)
         print(SERVE_COMMAND)
+        print(TRACE_COMMAND)
         print(WORKLOADS_COMMAND)
         return 0
     if args.figure == WORKLOADS_COMMAND:
         return run_workloads_listing()
+    if args.figure == TRACE_COMMAND:
+        return run_trace_command(args)
     if args.figure == SERVE_COMMAND:
-        return run_serve(args, config)
+        return _run_observed(args, lambda: run_serve(args, config))
     if args.figure == CLUSTER_COMMAND:
-        return run_cluster_command(args, config)
+        return _run_observed(args,
+                             lambda: run_cluster_command(args, config))
     if args.figure == FRONTIER_COMMAND:
-        return run_frontier_command(args, config)
+        return _run_observed(args,
+                             lambda: run_frontier_command(args, config))
     if args.figure == BENCH_COMMAND:
         return run_bench_command(args, config)
     if args.figure == EXPERIMENT_COMMAND:
-        return run_experiment_command(args)
+        return _run_observed(args, lambda: run_experiment_command(args))
     if args.figure == "all":
         for name in sorted(EXPERIMENTS):
             run_figure(name, config, json_dir=args.json_out)
@@ -476,7 +551,7 @@ def main(argv=None) -> int:
         known = ", ".join(sorted(EXPERIMENTS))
         print(f"unknown figure {args.figure!r}; expected one of: {known}, "
               f"all, bench, serve, cluster, experiment, frontier, "
-              f"workloads, list", file=sys.stderr)
+              f"trace, workloads, list", file=sys.stderr)
         return 2
     run_figure(args.figure, config, json_dir=args.json_out)
     return 0

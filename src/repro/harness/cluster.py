@@ -51,7 +51,7 @@ def run_cluster(config: ExperimentConfig = DEFAULT, mix=None,
         workloads=mix if isinstance(mix, str) else None,
         arrivals=arrivals, rate_hz=rate_hz, duration_s=duration_s,
         workers=workers, placement=placement, queue_limit=queue_limit,
-        frames=frames, seed=seed, trace=trace, use_cache=use_cache,
+        frames=frames, seed=seed, arrival_trace=trace, use_cache=use_cache,
         autoscale=autoscale, min_workers=min_workers,
         max_workers=max_workers, scale_up_latency_s=scale_up_latency_s,
         governor=governor, slo_fps=slo_fps)

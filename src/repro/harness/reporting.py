@@ -114,13 +114,19 @@ SCHEMA_VERSION = 2
 
 def bench_payload(name: str, rows: list, wall_time_s: float,
                   config=None, extra: dict | None = None,
-                  kind: str = "figure") -> dict:
+                  kind: str = "figure", metrics: dict | None = None) -> dict:
     """The JSON document persisted for one figure/experiment run.
 
     ``kind`` says which harness surface produced the artifact
     (``figure``, ``serve``, ``cluster``, ``frontier``, ``perf``,
     ``experiment``, ``experiment-cell``) so consumers can dispatch
     without parsing the name.
+
+    ``metrics`` attaches an observability snapshot (see
+    ``docs/observability.md``).  When omitted, the snapshot of the
+    run's active :class:`~repro.obs.MetricsRegistry` — if one is
+    activated and non-empty — is attached automatically, so every
+    artifact written inside an observed run carries its metrics.
     """
     payload = {
         "schema_version": SCHEMA_VERSION,
@@ -133,22 +139,54 @@ def bench_payload(name: str, rows: list, wall_time_s: float,
         payload["config_scale"] = _jsonable(config)
     if extra:
         payload["extra"] = _jsonable(extra)
+    if metrics is None:
+        from ..obs.runtime import current_metrics
+        registry = current_metrics()
+        if registry is not None and len(registry):
+            metrics = registry.snapshot()
+    if metrics:
+        payload["metrics"] = _jsonable(metrics)
     return payload
+
+
+def _existing_kind(path: Path) -> str | None:
+    """The ``kind`` of the artifact at ``path``, if it parses as one."""
+    try:
+        existing = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if isinstance(existing, dict):
+        kind = existing.get("kind")
+        return kind if isinstance(kind, str) else None
+    return None
 
 
 def write_bench_json(directory, name: str, rows: list, wall_time_s: float,
                      config=None, extra: dict | None = None,
-                     kind: str = "figure") -> Path:
+                     kind: str = "figure",
+                     metrics: dict | None = None) -> Path:
     """Write ``BENCH_<name>.json`` under ``directory``; returns the path.
 
     This is the single entry point every BENCH artifact goes through —
-    all of them carry ``schema_version`` and ``kind``.
+    all of them carry ``schema_version`` and ``kind``.  Overwriting an
+    artifact of the *same* kind is the normal refresh path, but a
+    same-named artifact of a different kind is a configuration mistake
+    (two surfaces aimed at one path), so it raises ``ValueError``
+    naming both kinds instead of silently clobbering history.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"BENCH_{name}.json"
+    if path.exists():
+        existing_kind = _existing_kind(path)
+        if existing_kind is not None and existing_kind != str(kind):
+            raise ValueError(
+                f"refusing to overwrite {path}: it holds a "
+                f"{existing_kind!r} artifact, this run would write a "
+                f"{str(kind)!r} one (write to a different directory or "
+                "name, or remove the stale artifact)")
     payload = bench_payload(name, rows, wall_time_s, config=config,
-                            extra=extra, kind=kind)
+                            extra=extra, kind=kind, metrics=metrics)
     path.write_text(safe_json_dumps(payload, indent=2, sort_keys=True)
                     + "\n")
     return path

@@ -93,7 +93,7 @@ class RunConfig:
     workers: int | None = None
     placement: str | None = None
     queue_limit: int | None = None
-    trace: str | None = None
+    arrival_trace: str | None = None
     autoscale: bool = False
     min_workers: int | None = None
     max_workers: int | None = None
@@ -197,7 +197,7 @@ class RunConfig:
                 ("--workers", self.workers),
                 ("--placement", self.placement),
                 ("--queue-limit", self.queue_limit),
-                ("--trace", self.trace),
+                ("--arrival-trace", self.arrival_trace),
                 ("--autoscale", self.autoscale or None),
                 ("--min-workers", self.min_workers),
                 ("--max-workers", self.max_workers),
@@ -260,9 +260,9 @@ class RunConfig:
             raise RunConfigError(
                 f"unknown placement {self.placement!r}; one of "
                 f"{tuple(sorted(PLACEMENTS))}")
-        if (arrivals == "replay") != (self.trace is not None):
+        if (arrivals == "replay") != (self.arrival_trace is not None):
             raise RunConfigError(
-                "--trace is required for (and only valid with) "
+                "--arrival-trace is required for (and only valid with) "
                 "--arrivals replay")
         if arrivals == "replay" and (self.workloads is not None
                                      or self.rate_hz is not None
@@ -323,7 +323,7 @@ def from_cli_args(command: str, args) -> RunConfig:
             arrivals=args.arrivals, rate_hz=args.rate,
             duration_s=args.duration, workers=args.workers,
             placement=args.placement, queue_limit=args.queue_limit,
-            trace=args.trace, autoscale=args.autoscale,
+            arrival_trace=args.arrival_trace, autoscale=args.autoscale,
             min_workers=args.min_workers, max_workers=args.max_workers,
             scale_up_latency_s=args.scale_up_latency,
         ).validate()
@@ -333,15 +333,15 @@ def from_cli_args(command: str, args) -> RunConfig:
                 "--rates is a frontier-only option (use --rate for a "
                 "single arrival rate)")
     elif command == "frontier":
-        if (args.trace is not None or args.autoscale
+        if (args.arrival_trace is not None or args.autoscale
                 or args.min_workers is not None
                 or args.max_workers is not None
                 or args.scale_up_latency is not None
                 or args.rate is not None or args.arrivals is not None):
             raise RunConfigError(
-                "--rate/--arrivals/--trace/--autoscale options do not "
-                "apply (the sweep fixes poisson arrivals; use --rates "
-                "for the load points)")
+                "--rate/--arrivals/--arrival-trace/--autoscale options "
+                "do not apply (the sweep fixes poisson arrivals; use "
+                "--rates for the load points)")
     else:
         raise RunConfigError(f"unknown command {command!r}")
     return RunConfig(
@@ -355,7 +355,7 @@ def from_cli_args(command: str, args) -> RunConfig:
         arrivals=args.arrivals, rate_hz=args.rate,
         duration_s=args.duration, workers=args.workers,
         placement=args.placement, queue_limit=args.queue_limit,
-        trace=args.trace, autoscale=args.autoscale,
+        arrival_trace=args.arrival_trace, autoscale=args.autoscale,
         min_workers=args.min_workers, max_workers=args.max_workers,
         scale_up_latency_s=args.scale_up_latency,
     ).validate()

@@ -116,7 +116,7 @@ def _execute_cluster(cell: RunConfig, config, mix, seed: int) -> CellResult:
         workers=workers, placement=placement, queue_limit=queue_limit,
         frames=cell.frames, autoscaler=autoscaler,
         use_cache=cell.use_cache, governor=cell.governor,
-        slo_fps=cell.slo_fps, trace=cell.trace,
+        slo_fps=cell.slo_fps, trace=cell.arrival_trace,
         backend=cell.backend, engine_workers=cell.engine_workers)
     quality = quality_summary(resolved_mix, config, report)
     economics = frame_economics(report.total_frames, report.total_energy_j,

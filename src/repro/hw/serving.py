@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..metrics.stats import percentile_or_zero
+from ..obs.runtime import current_metrics, current_tracer
 from .soc import FrameCost, SoCModel
 from .workload import workload_from_stats
 
@@ -154,6 +155,16 @@ def aggregate_serving(session_results: dict, soc: SoCModel | None = None,
     frame_times = {sid: [c.time_s for c in costs]
                    for sid, costs in frame_costs.items()}
 
+    # Observability hooks (read-only: instrumentation records the same
+    # clock/latency values the report is built from, never changes them).
+    tracer = current_tracer()
+    metrics = current_metrics()
+    if tracer is not None:
+        soc_pid = tracer.process("soc")
+        rounds_tid = tracer.thread(soc_pid, "rounds")
+        session_tids = {sid: tracer.thread(soc_pid, sid)
+                        for sid in frame_times}
+
     latencies: dict = {sid: [] for sid in frame_times}
     clock = 0.0
     max_frames = max((len(t) for t in frame_times.values()), default=0)
@@ -164,8 +175,29 @@ def aggregate_serving(session_results: dict, soc: SoCModel | None = None,
             due.sort(key=lambda item: item[1])
         round_start = clock
         for sid, cost in due:
+            start = clock
             clock += cost
-            latencies[sid].append(clock - round_start)
+            latency = clock - round_start
+            latencies[sid].append(latency)
+            if metrics is not None:
+                metrics.inc("serve.frames")
+                metrics.observe("serve.frame_latency_s", latency)
+            if tracer is not None:
+                args = {"session": sid, "frame": i,
+                        "latency_ms": latency * 1e3}
+                tracer.complete("frame.wait", "frame", round_start * 1e6,
+                                (start - round_start) * 1e6, soc_pid,
+                                session_tids[sid], args=args)
+                tracer.complete("frame.serve", "frame", start * 1e6,
+                                cost * 1e6, soc_pid, session_tids[sid],
+                                args=args)
+        if tracer is not None and due:
+            tracer.complete("serve.round", "engine", round_start * 1e6,
+                            (clock - round_start) * 1e6, soc_pid,
+                            rounds_tid,
+                            args={"round": i, "sessions": len(due)})
+        if metrics is not None and due:
+            metrics.inc("serve.rounds")
 
     _pct = percentile_or_zero  # local alias keeps the stat rows compact
     per_session = []

@@ -1,0 +1,194 @@
+"""Offline trace analyzer: diagnose a run from its trace artifact alone.
+
+``cli trace analyze PATH`` loads a Chrome Trace Event JSON written by
+:class:`repro.obs.tracer.Tracer` and reports:
+
+* a per-category event census (how many spans/instants of each kind),
+* the **critical path per frame** — for every served frame, how long it
+  waited (request → render start) versus rendered/served (start →
+  delivery), ranked so the worst offenders surface first,
+* **round occupancy** — engine-round span statistics (rays, requests,
+  cache hits per round),
+* the **governor timeline** — every rung transition in clock order,
+* the **top-N slowest spans** overall.
+
+All pure functions over the parsed payload, so tests drive them with
+synthetic events and the CLI is a thin formatter on top.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["load_trace", "analyze_trace", "format_analysis", "main"]
+
+DEFAULT_TOP = 10
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Parse a Trace Event JSON file into its event list.
+
+    Accepts both the object form (``{"traceEvents": [...]}`` — what the
+    tracer writes) and the bare-array form the viewers also load.
+    Raises ``ValueError`` on anything else.
+    """
+    payload = json.loads(Path(path).read_text())
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents")
+    elif isinstance(payload, list):
+        events = payload
+    else:
+        events = None
+    if not isinstance(events, list):
+        raise ValueError(
+            f"{path}: not a Trace Event JSON (expected a traceEvents "
+            "array or a bare event array)")
+    for event in events:
+        if not isinstance(event, dict) or "ph" not in event:
+            raise ValueError(f"{path}: malformed trace event: {event!r}")
+    return events
+
+
+def _lane_labels(events: list[dict]):
+    """(pid → process label, (pid, tid) → thread label) from metadata."""
+    processes, threads = {}, {}
+    for event in events:
+        if event.get("ph") != "M":
+            continue
+        label = (event.get("args") or {}).get("name")
+        if event.get("name") == "process_name":
+            processes[event.get("pid")] = label
+        elif event.get("name") == "thread_name":
+            threads[(event.get("pid"), event.get("tid"))] = label
+    return processes, threads
+
+
+def _lane(event: dict, processes: dict, threads: dict) -> str:
+    pid, tid = event.get("pid"), event.get("tid")
+    process = processes.get(pid, f"pid {pid}")
+    thread = threads.get((pid, tid), f"tid {tid}")
+    return f"{process}/{thread}"
+
+
+def analyze_trace(events: list[dict], top: int = DEFAULT_TOP) -> dict:
+    """Summarise a trace; returns JSON-able tables.
+
+    Keys: ``categories`` (event census), ``frames`` (per-frame critical
+    path, slowest first, at most ``top``), ``frames_total``, ``rounds``
+    (engine-round occupancy stats), ``governor`` (transition timeline),
+    ``slowest`` (top-``top`` spans by duration).
+    """
+    if top <= 0:
+        raise ValueError("top must be positive")
+    processes, threads = _lane_labels(events)
+
+    categories: dict[str, dict] = {}
+    spans, rounds = [], []
+    waits: dict[tuple, dict] = {}
+    frames, governor = [], []
+    for event in events:
+        phase = event.get("ph")
+        if phase == "M":
+            continue
+        cat = event.get("cat", "?")
+        census = categories.setdefault(cat, {"cat": cat, "spans": 0,
+                                             "instants": 0})
+        census["spans" if phase == "X" else "instants"] += 1
+
+        name = event.get("name")
+        args = event.get("args") or {}
+        ts = float(event.get("ts", 0.0))
+        if phase == "X":
+            duration = float(event.get("dur", 0.0))
+            spans.append((duration, ts, name, cat,
+                          _lane(event, processes, threads)))
+            if name == "engine.round":
+                rounds.append(args)
+            elif name == "frame.wait":
+                key = (event.get("pid"), event.get("tid"),
+                       args.get("frame"))
+                waits[key] = {"ts": ts, "dur": duration}
+            elif name == "frame.serve":
+                key = (event.get("pid"), event.get("tid"),
+                       args.get("frame"))
+                wait = waits.get(key)
+                wait_ms = (wait["dur"] / 1e3) if wait else 0.0
+                serve_ms = duration / 1e3
+                frames.append({
+                    "lane": _lane(event, processes, threads),
+                    "session": args.get("session"),
+                    "frame": args.get("frame"),
+                    "wait_ms": wait_ms,
+                    "serve_ms": serve_ms,
+                    "latency_ms": wait_ms + serve_ms,
+                    # The critical path is whichever leg dominated the
+                    # delivered latency: queueing or rendering.
+                    "critical": "wait" if wait_ms > serve_ms else "serve",
+                })
+        elif cat == "governor":
+            governor.append({
+                "ts_ms": ts / 1e3,
+                "event": name,
+                "lane": _lane(event, processes, threads),
+                **{str(k): v for k, v in args.items()},
+            })
+
+    frames.sort(key=lambda row: -row["latency_ms"])
+    governor.sort(key=lambda row: row["ts_ms"])
+    spans.sort(key=lambda item: -item[0])
+
+    round_stats = {"rounds": len(rounds)}
+    if rounds:
+        for field in ("rays", "requests", "cache_hits"):
+            values = [float(r.get(field, 0)) for r in rounds]
+            round_stats[f"total_{field}"] = sum(values)
+            round_stats[f"mean_{field}"] = sum(values) / len(values)
+            round_stats[f"max_{field}"] = max(values)
+
+    return {
+        "categories": sorted(categories.values(),
+                             key=lambda row: row["cat"]),
+        "frames": frames[:top],
+        "frames_total": len(frames),
+        "rounds": round_stats,
+        "governor": governor,
+        "slowest": [{"span": name, "cat": cat, "lane": lane,
+                     "ts_ms": ts / 1e3, "dur_ms": duration / 1e3}
+                    for duration, ts, name, cat, lane in spans[:top]],
+    }
+
+
+def format_analysis(analysis: dict) -> str:
+    """Render an :func:`analyze_trace` result for the terminal."""
+    from ..harness.reporting import format_table
+
+    blocks = [format_table(analysis["categories"],
+                           title="event census by category")]
+    if analysis["frames"]:
+        blocks.append(format_table(
+            analysis["frames"],
+            title=f"slowest frames (of {analysis['frames_total']}; "
+                  "critical = dominant leg)"))
+    blocks.append(format_table([analysis["rounds"]],
+                               title="engine round occupancy"))
+    if analysis["governor"]:
+        blocks.append(format_table(analysis["governor"],
+                                   title="governor timeline"))
+    if analysis["slowest"]:
+        blocks.append(format_table(analysis["slowest"],
+                                   title="slowest spans"))
+    return "\n\n".join(blocks)
+
+
+def main(path: str | Path, top: int = DEFAULT_TOP) -> int:
+    """Analyze ``path`` and print the report; returns an exit code."""
+    try:
+        events = load_trace(path)
+        analysis = analyze_trace(events, top=top)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"trace analyze: {exc}", file=sys.stderr)
+        return 2
+    print(format_analysis(analysis))
+    return 0

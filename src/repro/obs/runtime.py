@@ -1,0 +1,130 @@
+"""Activation backbone shared by timer sections, tracing, and metrics.
+
+One module-global :class:`Observation` (timer + tracer + metrics, each
+optional) is the sole coupling point between product code and
+observability.  Library layers call the guarded helpers here
+(:func:`section`, :func:`metric_inc`, :func:`metric_observe`,
+:func:`metric_set`, :func:`current_tracer`); each one is a single
+global read plus a ``None`` check when nothing is active, so the
+disabled fast path costs nothing measurable (bounded by
+``tests/obs/test_obs_runtime.py`` the same way the timer overhead test
+bounds ``perf.timer``).
+
+The harness activates one :class:`Observation` per run::
+
+    obs = Observation(tracer=Tracer(), metrics=MetricsRegistry())
+    with activate(obs):
+        run_serve(...)
+    obs.tracer.write(path)
+
+``perf.timer.activate`` now routes through here too, so one
+activation drives section timing, tracing, and metrics together.
+
+This module deliberately imports nothing from ``repro`` — it sits
+below every instrumented layer.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Observation", "activate", "current", "current_tracer",
+           "current_metrics", "section", "metric_inc", "metric_observe",
+           "metric_set"]
+
+
+@dataclass
+class Observation:
+    """The bundle of sinks one ``activate()`` turns on.
+
+    Any field may be ``None``; helpers for that facet stay no-ops.
+    Typed ``Any`` to keep this module import-free — in practice
+    ``timer`` is a :class:`repro.perf.timer.Timer`, ``tracer`` a
+    :class:`repro.obs.tracer.Tracer`, and ``metrics`` a
+    :class:`repro.obs.metrics.MetricsRegistry`.
+    """
+
+    timer: Any = None
+    tracer: Any = None
+    metrics: Any = None
+
+
+_ACTIVE: Observation | None = None
+
+
+class _NullSection:
+    """Do-nothing context manager returned when no timer is active."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SECTION = _NullSection()
+
+
+@contextmanager
+def activate(obs: Observation):
+    """Make ``obs`` the active observation for the dynamic extent.
+
+    Nests: the previous observation (if any) is restored on exit.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = obs
+    try:
+        yield obs
+    finally:
+        _ACTIVE = previous
+
+
+def current() -> Observation | None:
+    """The active observation, or ``None``."""
+    return _ACTIVE
+
+
+def current_tracer():
+    """The active tracer, or ``None`` (the disabled fast path)."""
+    obs = _ACTIVE
+    return obs.tracer if obs is not None else None
+
+
+def current_metrics():
+    """The active metrics registry, or ``None``."""
+    obs = _ACTIVE
+    return obs.metrics if obs is not None else None
+
+
+def section(name: str):
+    """Context manager timing ``name`` on the active timer (else no-op)."""
+    obs = _ACTIVE
+    if obs is None or obs.timer is None:
+        return _NULL_SECTION
+    return obs.timer.section(name)
+
+
+def metric_inc(name: str, amount: int = 1) -> None:
+    """Bump counter ``name`` on the active registry (else no-op)."""
+    obs = _ACTIVE
+    if obs is not None and obs.metrics is not None:
+        obs.metrics.inc(name, amount)
+
+
+def metric_observe(name: str, value: float) -> None:
+    """Observe ``value`` into histogram ``name`` (else no-op)."""
+    obs = _ACTIVE
+    if obs is not None and obs.metrics is not None:
+        obs.metrics.observe(name, value)
+
+
+def metric_set(name: str, value: float) -> None:
+    """Set gauge ``name`` to ``value`` (else no-op)."""
+    obs = _ACTIVE
+    if obs is not None and obs.metrics is not None:
+        obs.metrics.set(name, value)

@@ -276,11 +276,15 @@ def bench_engine_round(ctx: BenchContext) -> dict:
                                   engine_workers=ctx.engine_workers).run()
 
     result = serve()  # warmup + work accounting
-    wall = _time_reps(serve, reps)
+    timer = Timer()
+    with activate(timer):
+        wall = _time_reps(serve, reps)
     rays = result.batch.total_rays
     return _row("engine.round", "ray", rays, reps, wall,
                 rounds=result.batch.rounds,
-                frames_per_s=result.total_frames / wall)
+                frames_per_s=result.total_frames / wall,
+                sections={r["section"]: round(r["total_ms"], 3)
+                          for r in timer.report()})
 
 
 @register("engine.round.scaling")
@@ -348,11 +352,15 @@ def bench_cluster_tick(ctx: BenchContext) -> dict:
                                 workers=2, frames=2, seed=0)
 
     report = run()
-    wall = _time_reps(run, reps)
+    timer = Timer()
+    with activate(timer):
+        wall = _time_reps(run, reps)
     frames = max(report.total_frames, 1)
     return _row("cluster.tick", "frame", frames, reps, wall,
                 admitted=report.admitted,
-                aggregate_fps=report.aggregate_fps)
+                aggregate_fps=report.aggregate_fps,
+                sections={r["section"]: round(r["total_ms"], 3)
+                          for r in timer.report()})
 
 
 @register("single_session.sparw")
@@ -460,10 +468,7 @@ def run_benchmarks(config: ExperimentConfig | None = None,
         "backend": active.name,
         "repeat": repeat,
     }
-    # Section breakdowns are per-kernel dicts — structured detail that
-    # belongs in the artifact's extra block, not a table column.
-    sections = {row["kernel"]: row.pop("sections")
-                for row in rows if "sections" in row}
-    if sections:
-        extra["sections"] = sections
+    # Rows keep their per-kernel "sections" breakdown (sourced from the
+    # observability backbone's section timer) — compare_bench.py only
+    # diffs ns_per_op, and the CLI table excludes the column.
     return rows, extra

@@ -19,8 +19,16 @@ block, well under a microsecond per call (bounded by
     print(timer.report())
 
 Timers are plain accumulators: per section name they keep call count and
-total/min/max nanoseconds.  Nesting the same section name is allowed
-(each ``with`` records independently); activation nests like a stack.
+total/min/max nanoseconds.  Re-entering a section name that is already
+open (recursion, a helper annotated with its caller's name) tracks
+nesting depth and accumulates only on the outermost exit, so nested
+entries never double-count wall time; activation nests like a stack.
+
+Activation rides the shared observability backbone
+(:mod:`repro.obs.runtime`): ``activate(timer)`` installs the timer into
+the active :class:`~repro.obs.runtime.Observation` (preserving any
+tracer/metrics already active), so one ``repro.obs.activate`` can drive
+sections, tracing, and metrics together.
 """
 
 from __future__ import annotations
@@ -28,6 +36,9 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
+
+from ..obs import runtime as _runtime
+from ..obs.runtime import Observation
 
 __all__ = ["SectionStats", "Section", "Timer", "NULL_TIMER", "activate",
            "section"]
@@ -61,19 +72,22 @@ class SectionStats:
 class Section:
     """Context manager timing one ``with`` block into a :class:`Timer`."""
 
-    __slots__ = ("_timer", "_name", "_start")
+    __slots__ = ("_timer", "_name", "_start", "_outermost")
 
     def __init__(self, timer: "Timer", name: str):
         self._timer = timer
         self._name = name
         self._start = 0
+        self._outermost = False
 
     def __enter__(self) -> "Section":
+        self._outermost = self._timer._enter(self._name)
         self._start = time.perf_counter_ns()
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self._timer.record(self._name, time.perf_counter_ns() - self._start)
+        elapsed = time.perf_counter_ns() - self._start
+        self._timer._exit(self._name, elapsed, self._outermost)
 
 
 class _NullSection:
@@ -102,12 +116,31 @@ class Timer:
     def __init__(self, enabled: bool = True):
         self.enabled = bool(enabled)
         self._stats: dict[str, SectionStats] = {}
+        # Open-entry count per section name; re-entrant entries only
+        # accumulate when the outermost with-block exits.
+        self._depth: dict[str, int] = {}
 
     def section(self, name: str):
         """A context manager timing ``name``, or the no-op when disabled."""
         if not self.enabled:
             return _NULL_SECTION
         return Section(self, name)
+
+    def _enter(self, name: str) -> bool:
+        """Register one entry of ``name``; True iff it is the outermost."""
+        depth = self._depth.get(name, 0)
+        self._depth[name] = depth + 1
+        return depth == 0
+
+    def _exit(self, name: str, elapsed_ns: int, outermost: bool) -> None:
+        """Register one exit; only the outermost one accumulates."""
+        depth = self._depth.get(name, 1) - 1
+        if depth <= 0:
+            self._depth.pop(name, None)
+        else:
+            self._depth[name] = depth
+        if outermost:
+            self.record(name, elapsed_ns)
 
     def record(self, name: str, elapsed_ns: int) -> None:
         """Fold one externally measured duration into section ``name``."""
@@ -126,8 +159,9 @@ class Timer:
         return stats.total_ns if stats is not None else 0
 
     def reset(self) -> None:
-        """Drop every accumulated section."""
+        """Drop every accumulated section (open-entry depth included)."""
         self._stats.clear()
+        self._depth.clear()
 
     def report(self) -> list:
         """Sections as dict rows (descending total time), for tables/JSON."""
@@ -157,25 +191,24 @@ class _NullTimer(Timer):
 
 NULL_TIMER = _NullTimer()
 
-# The currently active timer, consulted by module-level `section()`.
-# None (the overwhelmingly common case) keeps hot paths on the no-op.
-_active: Timer | None = None
-
 
 @contextmanager
 def activate(timer: Timer):
     """Route module-level :func:`section` calls into ``timer`` while open.
 
-    Activations nest: the innermost timer wins, and the previous one is
-    restored on exit.
+    Installs the timer into the shared observability backbone, keeping
+    whatever tracer/metrics the enclosing activation already carries.
+    Activations nest: the innermost timer wins, and the previous
+    observation is restored on exit.
     """
-    global _active
-    previous = _active
-    _active = timer
-    try:
+    enclosing = _runtime.current()
+    obs = Observation(
+        timer=timer,
+        tracer=enclosing.tracer if enclosing is not None else None,
+        metrics=enclosing.metrics if enclosing is not None else None,
+    )
+    with _runtime.activate(obs):
         yield timer
-    finally:
-        _active = previous
 
 
 def section(name: str):
@@ -185,7 +218,4 @@ def section(name: str):
     one global read, one comparison, and an empty ``with`` protocol —
     negligible against any numpy call.
     """
-    timer = _active
-    if timer is None:
-        return _NULL_SECTION
-    return timer.section(name)
+    return _runtime.section(name)

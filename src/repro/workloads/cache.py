@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.runtime import metric_inc
+
 __all__ = [
     "CacheStats", "SharedLRUCache", "pose_hash",
     "FIELD_CACHE", "REFERENCE_CACHE", "cache_report", "reset_caches",
@@ -115,9 +117,11 @@ class SharedLRUCache:
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
+            metric_inc(f"cache.{self.name}.misses")
             return default
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        metric_inc(f"cache.{self.name}.hits")
         return entry.value
 
     def put(self, key, value, size_bytes: int = 0) -> None:
@@ -128,6 +132,7 @@ class SharedLRUCache:
         self._entries[key] = _Entry(value=value, size_bytes=int(size_bytes))
         self._total_bytes += int(size_bytes)
         self.stats.insertions += 1
+        metric_inc(f"cache.{self.name}.insertions")
         self._evict()
 
     def get_or_build(self, key, builder, size_of=None):
@@ -156,6 +161,7 @@ class SharedLRUCache:
             _, entry = self._entries.popitem(last=False)
             self._total_bytes -= entry.size_bytes
             self.stats.evictions += 1
+            metric_inc(f"cache.{self.name}.evictions")
 
     # -- reporting -------------------------------------------------------------
 

@@ -219,26 +219,26 @@ class TestCli:
 
     def test_cluster_missing_trace_file_message(self, capsys):
         assert main(["cluster", "--fast", "--arrivals", "replay",
-                     "--trace", "/nonexistent/trace.json"]) == 2
+                     "--arrival-trace", "/nonexistent/trace.json"]) == 2
         err = capsys.readouterr().err
         assert "trace.json" in err  # names the file, not a bare errno
 
     def test_cluster_replay_requires_trace(self, capsys):
         assert main(["cluster", "--fast", "--arrivals", "replay"]) == 2
-        assert "--trace" in capsys.readouterr().err
+        assert "--arrival-trace" in capsys.readouterr().err
 
     def test_cluster_replay_rejects_schedule_flags(self, capsys, tmp_path):
         trace = tmp_path / "trace.json"
         trace.write_text('{"arrivals": [{"t": 0.0, "workload": "vr-lego"}]}')
         assert main(["cluster", "--fast", "--arrivals", "replay",
-                     "--trace", str(trace), "--rate", "2"]) == 2
+                     "--arrival-trace", str(trace), "--rate", "2"]) == 2
         assert "do not apply" in capsys.readouterr().err
 
     def test_cluster_malformed_trace_entry_message(self, capsys, tmp_path):
         trace = tmp_path / "trace.json"
         trace.write_text('{"arrivals": [{"time": 0.0, "workload": "x"}]}')
         assert main(["cluster", "--fast", "--arrivals", "replay",
-                     "--trace", str(trace)]) == 2
+                     "--arrival-trace", str(trace)]) == 2
         assert "bad arrival-trace entry" in capsys.readouterr().err
 
     def test_cluster_autoscale_flags_require_autoscale(self, capsys):

@@ -126,3 +126,37 @@ class TestWriteBenchJson:
         write_bench_json(tmp_path, "fig07", [{"v": 1}], 1.0)
         path = write_bench_json(tmp_path, "fig07", [{"v": 2}], 1.0)
         assert json.loads(path.read_text())["rows"] == [{"v": 2}]
+
+    def test_refuses_cross_kind_overwrite(self, tmp_path):
+        """Two surfaces aimed at one path is a config mistake, not a
+        refresh — the error must name both kinds."""
+        write_bench_json(tmp_path, "run", [{"v": 1}], 1.0, kind="serve")
+        with pytest.raises(ValueError) as excinfo:
+            write_bench_json(tmp_path, "run", [{"v": 2}], 1.0,
+                             kind="cluster")
+        message = str(excinfo.value)
+        assert "'serve'" in message and "'cluster'" in message
+        # The refusal left the original artifact untouched.
+        payload = json.loads((tmp_path / "BENCH_run.json").read_text())
+        assert payload["kind"] == "serve"
+        assert payload["rows"] == [{"v": 1}]
+
+    def test_unparseable_existing_artifact_is_overwritten(self, tmp_path):
+        # A corrupt/foreign file has no kind to defend; refresh wins.
+        target = tmp_path / "BENCH_run.json"
+        target.write_text("{not json")
+        path = write_bench_json(tmp_path, "run", [{"v": 3}], 1.0,
+                                kind="serve")
+        assert json.loads(path.read_text())["rows"] == [{"v": 3}]
+
+    def test_metrics_snapshot_attached_from_active_registry(self, tmp_path):
+        from repro.obs import MetricsRegistry, Observation, activate
+        registry = MetricsRegistry()
+        registry.inc("hits", 2)
+        with activate(Observation(metrics=registry)):
+            path = write_bench_json(tmp_path, "m", [], 0.0)
+        payload = json.loads(path.read_text())
+        assert payload["metrics"]["counters"] == {"hits": 2}
+        # Without an active registry there is no metrics key at all.
+        bare = write_bench_json(tmp_path, "bare", [], 0.0)
+        assert "metrics" not in json.loads(bare.read_text())

@@ -55,7 +55,8 @@ class TestRunConfig:
             RunConfig(mode="cluster", sessions=4).validate()
 
     def test_replay_requires_trace(self):
-        with pytest.raises(RunConfigError, match="--trace is required"):
+        with pytest.raises(RunConfigError,
+                           match="--arrival-trace is required"):
             RunConfig(mode="cluster", arrivals="replay").validate()
 
     def test_autoscale_knobs_require_autoscale(self):

@@ -1,0 +1,122 @@
+"""MetricsRegistry: counter/gauge/histogram semantics and snapshots."""
+
+import json
+import math
+
+import pytest
+
+from repro.harness.reporting import safe_json_dumps
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import DEFAULT_LATENCY_BOUNDS, QUANTILES
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("c")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="cannot add"):
+            Counter("c").add(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge("g")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+
+class TestHistogram:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("h", bounds=())
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("h", bounds=(1.0, 1.0, 2.0))
+
+    def test_empty_snapshot_is_all_zero(self):
+        snap = Histogram("h").snapshot()
+        assert snap["count"] == 0
+        assert snap["buckets"] == {}
+        assert all(snap[key] == 0.0 for key, _ in QUANTILES)
+
+    def test_counts_mean_min_max(self):
+        hist = Histogram("h")
+        for value in (0.001, 0.004, 0.04):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.min_value == 0.001
+        assert hist.max_value == 0.04
+        assert hist.mean == pytest.approx(0.045 / 3)
+
+    def test_bucket_edges_are_upper_inclusive_lower_exclusive(self):
+        # bisect_left(bounds, v) puts a value exactly on an edge into
+        # the bucket whose upper edge it is.
+        hist = Histogram("h", bounds=(1.0, 2.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 99.0):
+            hist.observe(value)
+        assert hist.counts == [2, 2, 1]
+
+    def test_overflow_bucket_keeps_quantiles_finite(self):
+        hist = Histogram("h")
+        beyond = DEFAULT_LATENCY_BOUNDS[-1] * 10
+        for _ in range(100):
+            hist.observe(beyond)
+        for key, pct in QUANTILES:
+            value = hist.percentile(pct)
+            assert math.isfinite(value)
+            assert value == beyond  # clamped to the observed max
+
+    def test_percentiles_are_ordered_and_clamped(self):
+        hist = Histogram("h")
+        for i in range(1, 101):
+            hist.observe(i / 1000.0)  # 1ms .. 100ms
+        p50, p95, p99 = (hist.percentile(p) for p in (50, 95, 99))
+        assert hist.min_value <= p50 <= p95 <= p99 <= hist.max_value
+        # The median of a uniform 1..100ms sweep sits near 50ms.
+        assert 0.02 <= p50 <= 0.08
+
+    def test_single_sample_quantiles_collapse_to_it(self):
+        hist = Histogram("h")
+        hist.observe(0.0042)
+        assert all(hist.percentile(pct) == 0.0042 for _, pct in QUANTILES)
+
+    def test_snapshot_shape_and_sparse_buckets(self):
+        hist = Histogram("h", bounds=(1.0, 2.0, 5.0))
+        hist.observe(0.5)
+        hist.observe(7.0)
+        snap = hist.snapshot()
+        assert snap["count"] == 2
+        assert snap["sum"] == 7.5
+        assert snap["buckets"] == {"1.0": 1, "inf": 1}
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+        assert len(registry) == 3
+
+    def test_shorthands_record(self):
+        registry = MetricsRegistry()
+        registry.inc("hits", 2)
+        registry.set("fleet", 4)
+        registry.observe("lat", 0.01)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"hits": 2}
+        assert snap["gauges"] == {"fleet": 4.0}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_snapshot_is_strict_json(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 1e9)  # overflow bucket in play
+        text = safe_json_dumps(registry.snapshot())
+        def reject(token):
+            raise AssertionError(f"non-strict constant {token!r}")
+        back = json.loads(text, parse_constant=reject)
+        assert back["histograms"]["lat"]["p99.9"] == 1e9

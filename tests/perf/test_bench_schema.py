@@ -60,6 +60,18 @@ def test_cli_bench_rejects_unknown_kernel(tmp_path, capsys):
     assert "unknown benchmark kernels" in capsys.readouterr().err
 
 
+def test_session_kernels_carry_section_breakdown():
+    """The macro kernels time their internals through the shared obs
+    backbone and publish the per-section breakdown on their row."""
+    rows, _ = bench.run_benchmarks(config=FAST, quick=True,
+                                   kernels=["engine.round"])
+    (row,) = rows
+    sections = row["sections"]
+    assert isinstance(sections, dict) and sections
+    assert all(isinstance(v, float) and v >= 0
+               for v in sections.values())
+
+
 def _artifact(kernel_ns):
     return {"schema_version": 2, "kind": "perf",
             "rows": [{"kernel": k, "ns_per_op": ns}
@@ -75,6 +87,21 @@ def test_compare_flags_regressions_only_beyond_threshold():
     assert result["regressions"] == ["b"]
     assert result["only_baseline"] == ["gone"]
     assert result["only_candidate"] == ["new"]
+
+
+def test_compare_ignores_sections_and_metrics():
+    """compare_bench diffs ns_per_op only; the observability extras a
+    newer artifact carries (row sections, payload metrics) must not
+    perturb the verdicts or crash on older baselines lacking them."""
+    baseline = _artifact({"a": 100.0})
+    candidate = _artifact({"a": 101.0})
+    candidate["metrics"] = {"counters": {"engine.rounds": 3}}
+    for row in candidate["rows"]:
+        row["sections"] = {"render": 1.25, "deliver": 0.5}
+    result = compare_payloads(baseline, candidate, threshold=1.25)
+    assert result["regressions"] == []
+    assert {row["kernel"]: row["verdict"]
+            for row in result["rows"]} == {"a": "ok"}
 
 
 def test_compare_cli_exit_codes(tmp_path):

@@ -34,6 +34,38 @@ def test_timer_reset():
     assert timer.total_ns("x") == 0
 
 
+def test_reentrant_same_name_section_counts_once():
+    """A recursive/nested section must not double-count its wall time.
+
+    Only the outermost exit of a same-named nesting accumulates; inner
+    entries ride along.  (A naive per-exit accumulation would bill the
+    inner interval twice and report calls == 2.)
+    """
+    timer = Timer()
+    with timer.section("work"):
+        with timer.section("work"):
+            time.sleep(0.002)
+    stats = timer.stats()["work"]
+    assert stats.calls == 1
+    # Total is the single outermost interval, not ~2x the sleep.
+    assert stats.total_ns == stats.max_ns
+
+
+def test_reentrant_section_depth_resets_between_uses():
+    timer = Timer()
+    for _ in range(2):
+        with timer.section("work"):
+            with timer.section("work"):
+                pass
+    assert timer.stats()["work"].calls == 2
+    # Distinct names still account independently when interleaved.
+    with timer.section("outer"):
+        with timer.section("inner"):
+            pass
+    assert timer.stats()["outer"].calls == 1
+    assert timer.stats()["inner"].calls == 1
+
+
 def test_disabled_timer_records_nothing():
     timer = Timer(enabled=False)
     with timer.section("ignored"):
