@@ -12,6 +12,8 @@ alone through :meth:`SparwRenderer.render_sequence`.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from ..obs.runtime import current_metrics, current_tracer
@@ -176,14 +178,24 @@ class MultiSessionEngine:
         # Trace lane state while a tracer is active (see _trace_setup);
         # None keeps every hook on the no-op fast path.
         self._trace = None
+        # Live-serving state (see admit/retire/run_round): admission
+        # mutations and round execution synchronise on this lock, so a
+        # server connection thread can admit/retire sessions while the
+        # engine-host thread is mid-round.
+        self._admission = threading.Lock()
+        self._round_index = 0
+        self.batch = BatchStats()  # cumulative stats across run_round calls
 
-    def run(self) -> EngineResult:
-        """Serve every session to completion; returns the combined result.
+    @contextmanager
+    def serving(self):
+        """Activate the kernel backend for a span of ``run_round`` calls.
 
-        The configured kernel backend is active for the whole run; on
-        exit (normal or not) the scratch arenas and geometry memos are
-        released — both locally and, for the ``parallel`` backend, in
-        every pool worker — so repeated runs don't accumulate arenas.
+        ``run()`` wraps its whole drain in this; the live frame server's
+        engine-host thread enters it once and serves rounds until
+        shutdown.  On exit (normal or not) the scratch arenas and
+        geometry memos are released — both locally and, for the
+        ``parallel`` backend, in every pool worker — so repeated runs
+        don't accumulate arenas.
         """
         from ..backend.registry import use_backend
         with use_backend(self.backend) as active:
@@ -192,9 +204,91 @@ class MultiSessionEngine:
                 workers = self.engine_workers or active.default_workers
                 self._pool = get_pool(workers)
             try:
-                return self._run_rounds()
+                yield self
             finally:
                 self._release_memory()
+
+    def run(self) -> EngineResult:
+        """Serve every session to completion; returns the combined result.
+
+        The configured kernel backend is active for the whole run (see
+        :meth:`serving`).
+        """
+        with self.serving():
+            return self._run_rounds()
+
+    # -- live admission (the frame server's API) --------------------------------
+
+    def admit(self, session: RenderSession) -> RenderSession:
+        """Thread-safely add a session mid-serve (live connections).
+
+        Safe to call from any thread while another thread is inside
+        :meth:`run_round`: the admission lands between rounds.  Session
+        ids must stay unique across the currently-admitted set.
+        """
+        with self._admission:
+            if any(s.session_id == session.session_id
+                   for s in self.sessions):
+                raise ValueError(
+                    f"session id {session.session_id!r} already admitted")
+            self.sessions = [*self.sessions, session]
+            if self.governor is not None:
+                self.governor.attach([session])
+        return session
+
+    def retire(self, session_id: str) -> RenderSession:
+        """Thread-safely remove a session mid-serve (connection closed).
+
+        Returns the retired session; raises ``KeyError`` for unknown
+        ids.  A retired session simply stops being scheduled — any
+        in-flight round that already snapshotted it finishes serving it
+        first (rounds and admissions serialise on one lock).
+        """
+        with self._admission:
+            for session in self.sessions:
+                if session.session_id == session_id:
+                    self.sessions = [s for s in self.sessions
+                                     if s is not session]
+                    return session
+        raise KeyError(f"no admitted session {session_id!r}")
+
+    def run_round(self) -> list:
+        """Serve one batched round over the currently-admitted sessions.
+
+        Returns ``[(session, new_records), ...]`` for every served
+        session that completed at least one frame this round (records
+        are the freshly-appended ``TargetFrameRecord`` objects, in
+        order).  Returns ``[]`` when no admitted session is runnable —
+        but also for rounds that advance sessions without finishing a
+        frame (a mid-sequence reference refresh renders the reference
+        one round and the warped frame the next), so poll the sessions'
+        ``done`` flags, not this return value, to detect drain
+        completion.
+        Cumulative batching statistics accrue on :attr:`batch`.  The
+        caller owns backend activation (:meth:`serving`) and must call
+        ``run_round`` from one thread at a time; ``admit``/``retire``
+        may race freely against it.
+        """
+        with self._admission:
+            active = [s for s in self.sessions if not s.done]
+            if not active:
+                return []
+            ordered = self.scheduler.order(active, self._round_index)
+            served = self._select(ordered)
+            frames_before = [(s, s.result.num_frames) for s in served]
+            with section("engine.round"):
+                self._serve_round(served, self.batch)
+            self.batch.rounds += 1
+            self._round_index += 1
+        completed = []
+        for session, frames in frames_before:
+            records = session.result.records[frames:]
+            if self.governor is not None:
+                for record in records:
+                    self.governor.observe_record(session, record)
+            if records:
+                completed.append((session, records))
+        return completed
 
     def _run_rounds(self) -> EngineResult:
         stats = BatchStats()

@@ -21,6 +21,11 @@ open-loop cluster simulator from a shell::
     python -m repro.harness.cli bench --kernels single_session.sparw
     python -m repro.harness.cli cluster --fast --trace run.trace.json
     python -m repro.harness.cli trace analyze run.trace.json --top 20
+    python -m repro.harness.cli serve-live --fast --port 7070
+    python -m repro.harness.cli loadgen --fast --rate 3 --duration 2 \\
+        --seed 7 --frames 4 --time-scale 0.2
+    python -m repro.harness.cli reconcile \\
+        --input bench-artifacts/BENCH_realserve.json
 
 ``--fast`` uses the reduced test-scale configuration (seconds per figure);
 the default scale matches the benchmarks (minutes for the quality figures).
@@ -36,6 +41,12 @@ executes a factorial run table of such cells (``--table table.json``,
 ``--trace PATH`` records any serve/cluster/frontier/experiment run as
 Chrome Trace Event JSON, and ``trace analyze PATH`` summarises such a
 trace from the artifact alone (see docs/observability.md).
+``serve-live`` binds the real asyncio frame server on a TCP port;
+``loadgen`` replays a seeded arrival schedule against it over real
+sockets (self-hosting a server unless ``--connect`` targets a running
+one) and writes measured wall-clock quantiles to
+``BENCH_realserve.json``; ``reconcile`` diffs that artifact against a
+matched cluster-simulator prediction (see docs/serving-guide.md).
 """
 
 from __future__ import annotations
@@ -61,12 +72,15 @@ FRONTIER_COMMAND = "frontier"
 BENCH_COMMAND = "bench"
 EXPERIMENT_COMMAND = "experiment"
 TRACE_COMMAND = "trace"
+SERVE_LIVE_COMMAND = "serve-live"
+LOADGEN_COMMAND = "loadgen"
+RECONCILE_COMMAND = "reconcile"
 
 # Commands that run under an observability activation: metrics are
 # always collected into their BENCH artifacts, and --trace additionally
 # records a Chrome Trace Event JSON of the run.
 OBSERVED_COMMANDS = (SERVE_COMMAND, CLUSTER_COMMAND, FRONTIER_COMMAND,
-                     EXPERIMENT_COMMAND)
+                     EXPERIMENT_COMMAND, LOADGEN_COMMAND)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -230,6 +244,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="provisioning delay in virtual seconds "
                               "before a scaled-up worker takes sessions "
                               "(default 1.0; requires --autoscale)")
+    realserve = parser.add_argument_group(
+        "realserve options",
+        "used by the 'serve-live', 'loadgen', and 'reconcile' commands "
+        "(the real wall-clock frame server; see docs/serving-guide.md)")
+    realserve.add_argument("--host", default=None,
+                           help="interface the frame server binds "
+                                "(default 127.0.0.1)")
+    realserve.add_argument("--port", type=int, default=None,
+                           help="port the frame server binds (default 0 "
+                                "= ephemeral; the bound port is printed)")
+    realserve.add_argument("--connect", metavar="HOST:PORT", default=None,
+                           help="loadgen only: target an already-running "
+                                "'serve-live' server instead of starting "
+                                "an in-process one")
+    realserve.add_argument("--time-scale", type=float, default=None,
+                           help="loadgen only: wall seconds per virtual "
+                                "arrival second (default 1.0; <1 "
+                                "compresses the schedule — reconcile "
+                                "normalises back to virtual seconds)")
+    realserve.add_argument("--input", metavar="PATH", default=None,
+                           help="reconcile only: the BENCH_realserve.json "
+                                "a 'loadgen' run wrote")
     trace = parser.add_argument_group(
         "trace options", "only used with the 'trace' command")
     trace.add_argument("--top", type=int, default=10, metavar="N",
@@ -252,10 +288,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def run_figure(name: str, config, json_dir: str | None = None) -> None:
-    started = time.time()
+    started = time.perf_counter()
     result = EXPERIMENTS[name](config)
     rows = result if isinstance(result, list) else [result]
-    elapsed = time.time() - started
+    elapsed = time.perf_counter() - started
     print_table(rows, title=f"{name} ({elapsed:.1f}s)")
     if json_dir is not None:
         write_bench_json(json_dir, name, rows, elapsed, config=config)
@@ -274,10 +310,10 @@ def run_serve(args, config) -> int:
     except RunConfigError as exc:
         print(f"serve: {exc.args[0]}", file=sys.stderr)
         return 2
-    started = time.time()
+    started = time.perf_counter()
     result = execute_cell(cell, config=config)
     rows, summary = result.rows, result.summary
-    elapsed = time.time() - started
+    elapsed = time.perf_counter() - started
     print_table(rows, title=f"serve: {len(rows)} sessions "
                             f"({elapsed:.1f}s wall)")
     cache = summary.get("cache") or {}
@@ -302,7 +338,7 @@ def run_cluster_command(args, config) -> int:
     except RunConfigError as exc:
         print(f"cluster: {exc.args[0]}", file=sys.stderr)
         return 2
-    started = time.time()
+    started = time.perf_counter()
     try:
         result = execute_cell(cell, config=config)
     except (ValueError, KeyError, OSError) as exc:
@@ -314,7 +350,7 @@ def run_cluster_command(args, config) -> int:
         print(f"cluster: {message}", file=sys.stderr)
         return 2
     rows, summary = result.rows, result.summary
-    elapsed = time.time() - started
+    elapsed = time.perf_counter() - started
     print_table(rows, title=f"cluster: {len(rows)} workers "
                             f"({elapsed:.1f}s wall)")
     nested = ("scale_events", "governor_events", "psnr_per_workload")
@@ -342,6 +378,205 @@ def run_cluster_command(args, config) -> int:
     return 0
 
 
+def _server_options(cell):
+    """The ServerOptions one realserve RunConfig describes."""
+    from ..server import ServerOptions
+    return ServerOptions(
+        host=cell.host or "127.0.0.1", port=cell.port or 0,
+        use_cache=cell.use_cache, governor=cell.governor,
+        slo_fps=cell.slo_fps, backend=cell.backend,
+        engine_workers=cell.engine_workers)
+
+
+def run_serve_live(args, config) -> int:
+    import asyncio
+    from ..server import FrameServer
+    try:
+        cell = from_cli_args(SERVE_LIVE_COMMAND, args)
+    except RunConfigError as exc:
+        print(f"serve-live: {exc.args[0]}", file=sys.stderr)
+        return 2
+    loadgen_only = [flag for flag, value in (
+        ("--arrivals", cell.arrivals), ("--rate", cell.rate_hz),
+        ("--duration", cell.duration_s), ("--time-scale", cell.time_scale),
+        ("--connect", args.connect), ("--workload", cell.workloads),
+        ("--frames", cell.frames),
+    ) if value is not None]
+    if loadgen_only:
+        print(f"serve-live: {'/'.join(loadgen_only)} "
+              f"{'is a' if len(loadgen_only) == 1 else 'are'} loadgen "
+              "option(s) (the connecting client picks workloads)",
+              file=sys.stderr)
+        return 2
+
+    async def serve() -> None:
+        server = FrameServer(config=config, options=_server_options(cell))
+        await server.start()
+        # flush: readiness probes tail this line through a redirect.
+        print(f"frame server listening on "
+              f"{server.options.host}:{server.port} (Ctrl-C to stop)",
+              flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("serve-live: stopped")
+    return 0
+
+
+def run_loadgen_command(args, config) -> int:
+    import asyncio
+    from ..server import FrameServer, LoadgenOptions, run_loadgen
+    from .cluster import DEFAULT_CLUSTER_MIX
+    try:
+        cell = from_cli_args(LOADGEN_COMMAND, args)
+    except RunConfigError as exc:
+        print(f"loadgen: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.connect is not None and (cell.host is not None
+                                     or cell.port is not None):
+        print("loadgen: --connect targets a running server; --host/"
+              "--port configure the in-process one (pick one)",
+              file=sys.stderr)
+        return 2
+    try:
+        options = LoadgenOptions(
+            mix=cell.workloads or DEFAULT_CLUSTER_MIX,
+            arrivals=cell.arrivals or "poisson",
+            rate_hz=2.0 if cell.rate_hz is None else cell.rate_hz,
+            duration_s=(4.0 if cell.duration_s is None
+                        else cell.duration_s),
+            seed=cell.seed, frames=cell.frames,
+            time_scale=(1.0 if cell.time_scale is None
+                        else cell.time_scale),
+            arrival_trace=cell.arrival_trace)
+    except ValueError as exc:
+        print(f"loadgen: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    async def drive() -> dict:
+        server = None
+        if args.connect is None:
+            from ..obs.runtime import current_tracer
+            server = FrameServer(config=config,
+                                 options=_server_options(cell),
+                                 tracer=current_tracer())
+            await server.start()
+            host, port = server.options.host, server.port
+        else:
+            host, _, port_text = args.connect.rpartition(":")
+            port = int(port_text)
+        try:
+            return await run_loadgen(host, port, options)
+        finally:
+            if server is not None:
+                await server.stop()
+
+    if args.connect is not None:
+        try:
+            host, _, port_text = args.connect.rpartition(":")
+            if not host or not 0 < int(port_text) <= 65535:
+                raise ValueError(args.connect)
+        except ValueError:
+            print(f"loadgen: bad --connect {args.connect!r}; expected "
+                  "HOST:PORT", file=sys.stderr)
+            return 2
+    started = time.perf_counter()
+    try:
+        summary = asyncio.run(drive())
+    except (ValueError, KeyError, OSError) as exc:
+        message = (exc.args[0] if isinstance(exc, (ValueError, KeyError))
+                   else exc)
+        print(f"loadgen: {message}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+    # The reconcile command re-simulates from the artifact alone, so the
+    # summary must pin down how the live server was configured too.
+    summary.update({"governor": cell.governor, "slo_fps": cell.slo_fps,
+                    "use_cache": cell.use_cache, "backend": cell.backend,
+                    "scale": "fast" if args.fast else "default",
+                    "self_served": args.connect is None})
+    sessions = summary.pop("sessions")
+    rows = [{"workload": s["workload"], "scheduled_s": s["scheduled_s"],
+             "status": s["status"], "frames": s["frames"],
+             "ttff_ms": (s["ttff_s"] or 0.0) * 1e3,
+             "first_digest": (s["digests"][0] if s["digests"] else None)}
+            for s in sessions]
+    print_table(rows, title=f"loadgen: {len(rows)} sessions "
+                            f"({elapsed:.1f}s wall)")
+    print_table([{k: summary[k] for k in (
+        "sessions_ok", "frames_total", "ttff_mean_ms", "ttff_p95_ms",
+        "p50_latency_ms", "p95_latency_ms", "p99_latency_ms")}],
+        title="measured wall-clock quantiles")
+    failed = [s for s in sessions if s["status"] != "ok"]
+    if failed:
+        print(f"\nloadgen: {len(failed)}/{len(sessions)} sessions "
+              "failed", file=sys.stderr)
+    json_dir = "bench-artifacts" if args.json_out is None else args.json_out
+    path = write_bench_json(json_dir, "realserve", rows, elapsed,
+                            config=config, extra=summary,
+                            kind="realserve")
+    print(f"\nwrote {path}")
+    return 0 if not failed else 1
+
+
+def run_reconcile_command(args, config) -> int:
+    import json
+    from pathlib import Path
+
+    from ..server import reconcile_report
+    if args.input is None:
+        print("reconcile: --input is required (a BENCH_realserve.json "
+              "written by 'loadgen')", file=sys.stderr)
+        return 2
+    try:
+        artifact = json.loads(Path(args.input).read_text())
+    except OSError as exc:
+        print(f"reconcile: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"reconcile: {args.input} is not JSON: {exc}",
+              file=sys.stderr)
+        return 2
+    if artifact.get("kind") != "realserve":
+        print(f"reconcile: {args.input} holds a "
+              f"{artifact.get('kind')!r} artifact, need 'realserve' "
+              "(run 'loadgen' first)", file=sys.stderr)
+        return 2
+    measured = artifact.get("extra") or {}
+    scale = measured.get("scale", "fast" if args.fast else "default")
+    config = FAST if scale == "fast" else DEFAULT
+    started = time.perf_counter()
+    try:
+        report = reconcile_report(
+            measured, config,
+            use_cache=measured.get("use_cache", True),
+            governor=measured.get("governor", "off"),
+            slo_fps=measured.get("slo_fps"),
+            backend=measured.get("backend"))
+    except (ValueError, KeyError) as exc:
+        print(f"reconcile: {exc.args[0]}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+    print_table(report["rows"],
+                title=f"sim-vs-real reconciliation ({elapsed:.1f}s wall)")
+    print_table([{k: report[k] for k in (
+        "mix", "rate_hz", "duration_s", "seed", "sessions_measured",
+        "sessions_predicted", "frames_measured", "frames_predicted")}],
+        title="matched run")
+    json_dir = "bench-artifacts" if args.json_out is None else args.json_out
+    path = write_bench_json(
+        json_dir, "reconcile", report["rows"], elapsed, config=config,
+        extra={k: v for k, v in report.items() if k != "rows"},
+        kind="reconcile")
+    print(f"\nwrote {path}")
+    return 0
+
+
 def run_bench_command(args, config) -> int:
     from ..perf.bench import run_benchmarks
     if args.quick:
@@ -362,7 +597,7 @@ def run_bench_command(args, config) -> int:
         print("bench: --engine-workers requires --backend parallel",
               file=sys.stderr)
         return 2
-    started = time.time()
+    started = time.perf_counter()
     try:
         rows, extra = run_benchmarks(config=config, quick=args.quick,
                                      kernels=kernels, repeat=args.repeat,
@@ -371,7 +606,7 @@ def run_bench_command(args, config) -> int:
     except KeyError as exc:
         print(f"bench: {exc.args[0]}", file=sys.stderr)
         return 2
-    elapsed = time.time() - started
+    elapsed = time.perf_counter() - started
     # Rows are heterogeneous (per-kernel derived metrics); show the union
     # of their columns instead of the first row's keys.  The per-kernel
     # "sections" dicts are structured artifact detail, not a table cell.
@@ -405,7 +640,7 @@ def run_frontier_command(args, config) -> int:
             ("duration_s", cell.duration_s),
             ("frames", cell.frames),
         ) if value is not None}
-    started = time.time()
+    started = time.perf_counter()
     try:
         rows, summary = run_frontier(
             config, mix=cell.workloads,
@@ -417,7 +652,7 @@ def run_frontier_command(args, config) -> int:
     except (ValueError, KeyError) as exc:
         print(f"frontier: {exc.args[0]}", file=sys.stderr)
         return 2
-    elapsed = time.time() - started
+    elapsed = time.perf_counter() - started
     print_table(rows, title=f"frontier: {len(rows)} cells "
                             f"({elapsed:.1f}s wall)")
     print_table([summary], title="sweep")
@@ -523,7 +758,10 @@ def main(argv=None) -> int:
         print(CLUSTER_COMMAND)
         print(EXPERIMENT_COMMAND)
         print(FRONTIER_COMMAND)
+        print(LOADGEN_COMMAND)
+        print(RECONCILE_COMMAND)
         print(SERVE_COMMAND)
+        print(SERVE_LIVE_COMMAND)
         print(TRACE_COMMAND)
         print(WORKLOADS_COMMAND)
         return 0
@@ -539,6 +777,13 @@ def main(argv=None) -> int:
     if args.figure == FRONTIER_COMMAND:
         return _run_observed(args,
                              lambda: run_frontier_command(args, config))
+    if args.figure == SERVE_LIVE_COMMAND:
+        return run_serve_live(args, config)
+    if args.figure == LOADGEN_COMMAND:
+        return _run_observed(args,
+                             lambda: run_loadgen_command(args, config))
+    if args.figure == RECONCILE_COMMAND:
+        return run_reconcile_command(args, config)
     if args.figure == BENCH_COMMAND:
         return run_bench_command(args, config)
     if args.figure == EXPERIMENT_COMMAND:
@@ -550,8 +795,9 @@ def main(argv=None) -> int:
     if args.figure not in EXPERIMENTS:
         known = ", ".join(sorted(EXPERIMENTS))
         print(f"unknown figure {args.figure!r}; expected one of: {known}, "
-              f"all, bench, serve, cluster, experiment, frontier, "
-              f"trace, workloads, list", file=sys.stderr)
+              f"all, bench, serve, serve-live, loadgen, reconcile, "
+              f"cluster, experiment, frontier, trace, workloads, list",
+              file=sys.stderr)
         return 2
     run_figure(args.figure, config, json_dir=args.json_out)
     return 0

@@ -31,7 +31,7 @@ from .configs import ALGORITHMS, DEFAULT, FAST, scene_of
 __all__ = ["MODES", "SCALES", "SCHEDULERS", "RunConfig", "RunConfigError",
            "from_cli_args", "parse_rates"]
 
-MODES = ("serve", "cluster")
+MODES = ("serve", "cluster", "realserve")
 SCALES = ("default", "fast")
 SCHEDULERS = ("round_robin", "deadline")
 
@@ -41,6 +41,8 @@ _SERVE_ONLY = ("scenes", "algorithm", "variant", "sessions", "scheduler",
                "ray_budget")
 _SERVE_ONLY_FLAGS = ("--scene/--algorithm/--variant/--sessions/"
                      "--scheduler/--ray-budget")
+_REALSERVE_ONLY = ("host", "port", "time_scale")
+_REALSERVE_ONLY_FLAGS = "--host/--port/--time-scale"
 
 
 class RunConfigError(ValueError):
@@ -98,6 +100,13 @@ class RunConfig:
     min_workers: int | None = None
     max_workers: int | None = None
     scale_up_latency_s: float | None = None
+
+    # Realserve-only knobs (the live frame server + loadgen; see
+    # repro.server): where the server listens, and how much the loadgen
+    # compresses virtual arrival seconds into wall seconds.
+    host: str | None = None
+    port: int | None = None
+    time_scale: float | None = None
 
     # -- construction / serialisation -----------------------------------------
 
@@ -157,6 +166,8 @@ class RunConfig:
         self._validate_shared()
         if self.mode == "serve":
             self._validate_serve()
+        elif self.mode == "realserve":
+            self._validate_realserve()
         else:
             self._validate_cluster()
         return self
@@ -188,7 +199,16 @@ class RunConfig:
                     "--engine-workers requires --backend parallel "
                     "(the other backends run in-process)")
 
+    def _reject_realserve_only(self) -> None:
+        used = [name for name in _REALSERVE_ONLY
+                if getattr(self, name) is not None]
+        if used:
+            raise RunConfigError(
+                f"{_REALSERVE_ONLY_FLAGS} are realserve-only options "
+                "(cli serve-live / cli loadgen)")
+
     def _validate_serve(self) -> None:
+        self._reject_realserve_only()
         cluster_only = [
             flag for flag, value in (
                 ("--arrivals", self.arrivals),
@@ -239,7 +259,47 @@ class RunConfig:
             except KeyError as exc:
                 raise RunConfigError(exc.args[0]) from None
 
+    def _validate_realserve(self) -> None:
+        serve_only = [name for name in _SERVE_ONLY
+                      if getattr(self, name) not in (None, ())]
+        if serve_only:
+            raise RunConfigError(
+                f"{_SERVE_ONLY_FLAGS} are serve-only options (use "
+                "--workload NAME[:N] to shape the arrival mix)")
+        fleet_only = [
+            flag for flag, value in (
+                ("--workers", self.workers),
+                ("--placement", self.placement),
+                ("--queue-limit", self.queue_limit),
+                ("--autoscale", self.autoscale or None),
+                ("--min-workers", self.min_workers),
+                ("--max-workers", self.max_workers),
+                ("--scale-up-latency", self.scale_up_latency_s),
+            ) if value is not None]
+        if fleet_only:
+            raise RunConfigError(
+                f"{'/'.join(fleet_only)} "
+                f"{'does' if len(fleet_only) == 1 else 'do'} not apply "
+                "to the live server (one shared engine; reconcile "
+                "simulates workers=1)")
+        if (self.rate_hz is not None and self.rate_hz <= 0
+                or self.duration_s is not None and self.duration_s <= 0):
+            raise RunConfigError("--rate and --duration must be > 0")
+        arrivals = self.arrivals or "poisson"
+        if arrivals not in ARRIVAL_KINDS:
+            raise RunConfigError(f"unknown arrivals {arrivals!r}; "
+                                 f"one of {ARRIVAL_KINDS}")
+        if (arrivals == "replay") != (self.arrival_trace is not None):
+            raise RunConfigError(
+                "--arrival-trace is required for (and only valid with) "
+                "--arrivals replay")
+        if self.port is not None and not 0 <= self.port <= 65535:
+            raise RunConfigError("--port must be in 0..65535")
+        if self.time_scale is not None and self.time_scale <= 0:
+            raise RunConfigError("--time-scale must be > 0")
+
     def _validate_cluster(self) -> None:
+        self._reject_realserve_only()
         serve_only = [name for name in _SERVE_ONLY
                       if getattr(self, name) not in (None, ())]
         if serve_only:
@@ -326,6 +386,23 @@ def from_cli_args(command: str, args) -> RunConfig:
             arrival_trace=args.arrival_trace, autoscale=args.autoscale,
             min_workers=args.min_workers, max_workers=args.max_workers,
             scale_up_latency_s=args.scale_up_latency,
+            # Realserve-only flags ride along for the same reason.
+            host=getattr(args, "host", None), port=getattr(args, "port", None),
+            time_scale=getattr(args, "time_scale", None),
+        ).validate()
+    if command in ("loadgen", "serve-live"):
+        return RunConfig(
+            mode="realserve", scale=scale, workloads=_workloads_of(args),
+            frames=args.frames, seed=args.seed,
+            governor=args.governor or "off", slo_fps=args.slo,
+            use_cache=not args.no_cache, backend=args.backend,
+            engine_workers=args.engine_workers,
+            arrivals=getattr(args, "arrivals", None),
+            rate_hz=getattr(args, "rate", None),
+            duration_s=getattr(args, "duration", None),
+            arrival_trace=getattr(args, "arrival_trace", None),
+            host=args.host, port=args.port,
+            time_scale=getattr(args, "time_scale", None),
         ).validate()
     if command == "cluster":
         if args.rates is not None:
@@ -358,4 +435,6 @@ def from_cli_args(command: str, args) -> RunConfig:
         arrival_trace=args.arrival_trace, autoscale=args.autoscale,
         min_workers=args.min_workers, max_workers=args.max_workers,
         scale_up_latency_s=args.scale_up_latency,
+        host=getattr(args, "host", None), port=getattr(args, "port", None),
+        time_scale=getattr(args, "time_scale", None),
     ).validate()

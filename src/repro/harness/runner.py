@@ -330,7 +330,7 @@ def run_table(table: ExperimentTable, out_dir, resume: bool = False,
     cells = table.cells()
     rows = []
     executed = reused = 0
-    started = time.time()
+    started = time.perf_counter()
     for index, cell in enumerate(cells):
         config_hash = cell.config_hash()
         artifact = _cell_artifact(cells_dir, table.name, index)
@@ -343,10 +343,10 @@ def run_table(table: ExperimentTable, out_dir, resume: bool = False,
                     log(f"[{index + 1}/{len(cells)}] {cell.label}: "
                         "resumed from artifact")
                 continue
-        cell_started = time.time()
+        cell_started = time.perf_counter()
         config = cell.experiment_config(default_scale)
         result = execute_cell(cell, config=config)
-        cell_elapsed = time.time() - cell_started
+        cell_elapsed = time.perf_counter() - cell_started
         row = {
             "cell": cell.label or f"cell{index:03d}",
             "index": index,
@@ -368,7 +368,7 @@ def run_table(table: ExperimentTable, out_dir, resume: bool = False,
         if log is not None:
             log(f"[{index + 1}/{len(cells)}] {cell.label}: "
                 f"done in {cell_elapsed:.1f}s")
-    elapsed = time.time() - started
+    elapsed = time.perf_counter() - started
     extra = {
         "table": table.name,
         "base": table.base.to_dict(),

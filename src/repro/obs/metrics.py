@@ -17,6 +17,8 @@ observed min/max, so every quantile of a non-empty histogram is finite.
 
 from __future__ import annotations
 
+import math
+import threading
 from bisect import bisect_left
 
 __all__ = ["DEFAULT_LATENCY_BOUNDS", "Counter", "Gauge", "Histogram",
@@ -75,10 +77,16 @@ class Histogram:
     ``bounds`` are the ascending bucket upper edges; observations above
     the last edge land in an overflow bucket whose effective upper edge
     is the observed maximum (keeping every quantile finite).
+
+    Non-finite observations (NaN/inf) are dropped and counted in
+    ``dropped`` instead of folded in: a NaN would land via
+    ``bisect_left``'s undefined ordering and poison ``min_value``/
+    ``max_value``, making :meth:`snapshot` fail the strict-JSON
+    (``allow_nan=False``) artifact write.
     """
 
     __slots__ = ("name", "bounds", "counts", "count", "total",
-                 "min_value", "max_value")
+                 "min_value", "max_value", "dropped")
 
     def __init__(self, name: str, bounds=DEFAULT_LATENCY_BOUNDS):
         bounds = tuple(float(b) for b in bounds)
@@ -92,10 +100,14 @@ class Histogram:
         self.total = 0.0
         self.min_value = 0.0
         self.max_value = 0.0
+        self.dropped = 0  # non-finite observations rejected
 
     def observe(self, value: float) -> None:
-        """Fold one sample into the distribution."""
+        """Fold one sample into the distribution (non-finite: dropped)."""
         value = float(value)
+        if not math.isfinite(value):
+            self.dropped += 1
+            return
         if self.count == 0:
             self.min_value = self.max_value = value
         else:
@@ -152,18 +164,28 @@ class Histogram:
                         for edge, count in zip(edges, self.counts)
                         if count},
         }
+        if self.dropped:
+            row["dropped"] = self.dropped
         for key, pct in QUANTILES:
             row[key] = self.percentile(pct)
         return row
 
 
 class MetricsRegistry:
-    """Named counters/gauges/histograms behind one snapshot call."""
+    """Named counters/gauges/histograms behind one snapshot call.
+
+    Recording (``inc``/``set``/``observe``) and the get-or-create
+    accessors are guarded by one lock, so worker threads of the live
+    frame server can bump shared metrics without losing updates (a bare
+    ``value += n`` is a read-modify-write race under threads).  The
+    individual metric objects stay lock-free for single-threaded use.
+    """
 
     def __init__(self):
         self.counters: dict[str, Counter] = {}
         self.gauges: dict[str, Gauge] = {}
         self.histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return (len(self.counters) + len(self.gauges)
@@ -175,14 +197,16 @@ class MetricsRegistry:
         """The counter called ``name`` (created on first use)."""
         counter = self.counters.get(name)
         if counter is None:
-            counter = self.counters[name] = Counter(name)
+            with self._lock:
+                counter = self.counters.setdefault(name, Counter(name))
         return counter
 
     def gauge(self, name: str) -> Gauge:
         """The gauge called ``name`` (created on first use)."""
         gauge = self.gauges.get(name)
         if gauge is None:
-            gauge = self.gauges[name] = Gauge(name)
+            with self._lock:
+                gauge = self.gauges.setdefault(name, Gauge(name))
         return gauge
 
     def histogram(self, name: str,
@@ -194,22 +218,30 @@ class MetricsRegistry:
         """
         histogram = self.histograms.get(name)
         if histogram is None:
-            histogram = self.histograms[name] = Histogram(name, bounds)
+            with self._lock:
+                histogram = self.histograms.setdefault(
+                    name, Histogram(name, bounds))
         return histogram
 
     # -- recording shorthands --------------------------------------------------
 
     def inc(self, name: str, amount: int = 1) -> None:
-        """Bump counter ``name`` by ``amount``."""
-        self.counter(name).add(amount)
+        """Bump counter ``name`` by ``amount`` (thread-safe)."""
+        counter = self.counter(name)
+        with self._lock:
+            counter.add(amount)
 
     def set(self, name: str, value: float) -> None:
-        """Set gauge ``name`` to ``value``."""
-        self.gauge(name).set(value)
+        """Set gauge ``name`` to ``value`` (thread-safe)."""
+        gauge = self.gauge(name)
+        with self._lock:
+            gauge.set(value)
 
     def observe(self, name: str, value: float) -> None:
-        """Fold ``value`` into histogram ``name``."""
-        self.histogram(name).observe(value)
+        """Fold ``value`` into histogram ``name`` (thread-safe)."""
+        histogram = self.histogram(name)
+        with self._lock:
+            histogram.observe(value)
 
     # -- reporting -------------------------------------------------------------
 

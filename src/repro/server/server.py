@@ -1,0 +1,424 @@
+"""The asyncio frame server: real connections, one shared batched engine.
+
+Architecture: the asyncio event loop owns the sockets and the protocol
+state machine; one dedicated *engine-host* thread owns the existing
+:class:`~repro.engine.MultiSessionEngine` and drives it round by round
+(:meth:`~repro.engine.MultiSessionEngine.run_round`), so concurrent
+connections batch their ray work into shared field evaluations and hit
+the shared cross-session caches exactly like the simulated serving
+paths — the rendering results are bit-identical to solo rendering
+(locked by ``tests/server/test_server_parity.py``).  Session *builds*
+(field baking through the thread-safe, single-flight
+:data:`~repro.workloads.cache.FIELD_CACHE`) run on a small worker
+thread pool so a cold-cache open never stalls the event loop or the
+render rounds.
+
+Wall-clock observability: each frame carries ``queue_s`` (time the
+session spent waiting for its round) and ``render_s`` (its round's
+render time); with a tracer attached the host additionally emits
+``server.round``/``frame.serve`` spans in the same Chrome-trace schema
+the virtual-clock layers use, timestamped on the real clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..harness.configs import FAST
+from ..obs.runtime import metric_inc, metric_observe
+from ..workloads import get_workload
+from ..workloads.cache import REFERENCE_CACHE
+from .protocol import (
+    PROTOCOL_SCHEMA,
+    ProtocolError,
+    frame_digest,
+    read_message,
+    write_message,
+)
+
+__all__ = ["ServerOptions", "FrameServer"]
+
+
+@dataclass(frozen=True)
+class ServerOptions:
+    """Everything a :class:`FrameServer` needs beyond the config scale."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: ephemeral (read FrameServer.port after start)
+    use_cache: bool = True
+    governor: str = "off"
+    slo_fps: float | None = None
+    backend: str | None = None
+    engine_workers: int | None = None
+    build_workers: int = 2  # session-build thread pool size
+    max_sessions: int = 64  # admission cap across live connections
+
+    def __post_init__(self):
+        if not 0 <= self.port <= 65535:
+            raise ValueError(f"port must be in 0..65535, got {self.port}")
+        if self.build_workers < 1:
+            raise ValueError("build_workers must be >= 1")
+        if self.max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+
+
+class _EngineHost:
+    """One thread serving engine rounds for every live connection.
+
+    Connections :meth:`admit` sessions (with a *sink* callable the host
+    schedules onto the event loop with that session's freshly-completed
+    frame payloads) and :meth:`retire` them on close.  The host blocks
+    on a condition variable while nothing is runnable, so an idle
+    server burns no CPU.
+    """
+
+    def __init__(self, engine, loop, tracer=None):
+        self._engine = engine
+        self._loop = loop
+        self._cond = threading.Condition()
+        self._sinks: dict = {}  # session_id -> callable(payloads, done)
+        self._ready_s: dict = {}  # session_id -> perf_counter ready time
+        self._stop = False
+        self._tracer = tracer
+        self.epoch_s = time.perf_counter()  # wall anchor for trace spans
+        self._thread = threading.Thread(target=self._run,
+                                        name="engine-host", daemon=True)
+
+    # -- lifecycle (event-loop thread) -----------------------------------------
+
+    def start(self) -> None:
+        """Start the engine-host thread."""
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Wake the host thread and join it (idempotent)."""
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        self._thread.join(timeout=30.0)
+
+    @property
+    def live_sessions(self) -> int:
+        """Number of sessions currently admitted with an attached sink."""
+        with self._cond:
+            return len(self._sinks)
+
+    def admit(self, session, sink) -> None:
+        """Hand a built session to the engine; ``sink(payloads, done)``
+        is invoked on the event loop per round that completed frames."""
+        with self._cond:
+            self._engine.admit(session)
+            self._sinks[session.session_id] = sink
+            self._ready_s[session.session_id] = time.perf_counter()
+            self._cond.notify()
+
+    def retire(self, session_id: str) -> None:
+        """Stop serving (idempotent; late round results are dropped)."""
+        with self._cond:
+            try:
+                self._engine.retire(session_id)
+            except KeyError:
+                pass
+            self._sinks.pop(session_id, None)
+            self._ready_s.pop(session_id, None)
+
+    # -- the host thread --------------------------------------------------------
+
+    def _runnable(self) -> bool:
+        return any(not s.done for s in self._engine.sessions)
+
+    def _run(self) -> None:
+        with self._engine.serving():
+            while True:
+                with self._cond:
+                    while not self._stop and not self._runnable():
+                        # Timeout guards against a lost wakeup if an
+                        # admit lands between the check and the wait.
+                        self._cond.wait(timeout=0.05)
+                    if self._stop:
+                        return
+                round_start = time.perf_counter()
+                completed = self._engine.run_round()
+                round_end = time.perf_counter()
+                if completed:
+                    self._dispatch(completed, round_start, round_end)
+
+    def _dispatch(self, completed, round_start: float,
+                  round_end: float) -> None:
+        render_s = round_end - round_start
+        self._trace_round(round_start, round_end, len(completed))
+        for session, records in completed:
+            session_id = session.session_id
+            with self._cond:
+                sink = self._sinks.get(session_id)
+                ready_s = self._ready_s.get(session_id, round_start)
+                self._ready_s[session_id] = round_end
+            if sink is None:  # retired mid-round: drop the late frames
+                continue
+            queue_s = max(round_start - ready_s, 0.0)
+            payloads = [{
+                "type": "frame",
+                "session": session_id,
+                "index": record.frame_index,
+                "new_reference": bool(record.new_reference),
+                "digest": frame_digest(record.frame),
+                "queue_s": queue_s,
+                "render_s": render_s,
+                "t_server_s": round_end - self.epoch_s,
+            } for record in records]
+            self._trace_frames(session_id, records, ready_s, round_end)
+            metric_inc("server.frames", len(payloads))
+            metric_observe("server.frame_render_s", render_s)
+            done = session.done
+            self._loop.call_soon_threadsafe(sink, payloads, done)
+
+    # -- wall-clock tracing ------------------------------------------------------
+
+    def _trace_round(self, round_start: float, round_end: float,
+                     sessions: int) -> None:
+        tracer = self._tracer
+        if tracer is None:
+            return
+        pid = tracer.process("server")
+        tracer.complete(
+            "server.round", "server",
+            (round_start - self.epoch_s) * 1e6,
+            (round_end - round_start) * 1e6,
+            pid, tracer.thread(pid, "rounds"),
+            args={"sessions": sessions})
+
+    def _trace_frames(self, session_id: str, records, ready_s: float,
+                      round_end: float) -> None:
+        tracer = self._tracer
+        if tracer is None:
+            return
+        pid = tracer.process("server")
+        tid = tracer.thread(pid, session_id)
+        tracer.complete(
+            "frame.serve", "frame", (ready_s - self.epoch_s) * 1e6,
+            (round_end - ready_s) * 1e6, pid, tid,
+            args={"session": session_id, "frames": len(records),
+                  "first_index": records[0].frame_index})
+
+
+class FrameServer:
+    """JSON-lines frame server over TCP (see :mod:`.protocol`).
+
+    One session per connection: the client opens with a registered
+    :class:`~repro.workloads.WorkloadSpec` name, the server builds the
+    session on the worker pool, admits it into the shared engine, and
+    streams frame messages until the trajectory completes (``done``)
+    or the client closes early (``close``/EOF → ``closed``).
+    """
+
+    def __init__(self, config=None, options: ServerOptions | None = None,
+                 tracer=None):
+        self.config = FAST if config is None else config
+        self.options = options or ServerOptions()
+        self.tracer = tracer
+        self._server: asyncio.AbstractServer | None = None
+        self._host_thread: _EngineHost | None = None
+        self._build_pool: ThreadPoolExecutor | None = None
+        self._session_seq = 0
+        self._governor = None
+        self.connections_total = 0
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "FrameServer":
+        """Bind the socket and start the engine-host thread."""
+        from ..engine import MultiSessionEngine
+        options = self.options
+        if options.governor != "off":
+            from ..control import EngineGovernor
+            from ..hw.soc import SoCModel
+            self._governor = EngineGovernor(
+                self.config, mode=options.governor,
+                soc=SoCModel(feature_dim=self.config.feature_dim))
+        engine = MultiSessionEngine(
+            [], reference_cache=(REFERENCE_CACHE if options.use_cache
+                                 else None),
+            governor=self._governor, backend=options.backend,
+            engine_workers=options.engine_workers)
+        loop = asyncio.get_running_loop()
+        self._host_thread = _EngineHost(engine, loop, tracer=self.tracer)
+        self._build_pool = ThreadPoolExecutor(
+            max_workers=options.build_workers,
+            thread_name_prefix="session-build")
+        self._server = await asyncio.start_server(
+            self._handle, host=options.host, port=options.port)
+        self._host_thread.start()
+        return self
+
+    async def serve_forever(self) -> None:
+        """Block serving connections until cancelled."""
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Close the socket, stop the engine host, release the pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._host_thread is not None:
+            self._host_thread.stop()
+        if self._build_pool is not None:
+            self._build_pool.shutdown(wait=False)
+
+    # -- connection handling ----------------------------------------------------
+
+    def _resolve_spec(self, message: dict):
+        """The session spec an ``open`` message asks for (validated)."""
+        name = message.get("workload")
+        if not isinstance(name, str):
+            raise ProtocolError("open needs a string 'workload' name")
+        spec = get_workload(name)  # KeyError lists valid names
+        frames = message.get("frames")
+        if frames is not None and (not isinstance(frames, int)
+                                   or frames < 1):
+            raise ProtocolError("open 'frames' must be a positive int")
+        seed = message.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            raise ProtocolError("open 'seed' must be an int")
+        if self.options.slo_fps is not None:
+            spec = dataclasses.replace(spec,
+                                       slo_fps=float(self.options.slo_fps))
+        return spec.with_overrides(frames=frames, seed_offset=seed)
+
+    def _build_session(self, spec, session_id: str):
+        """Build one engine session (runs on the build pool)."""
+        if self.options.governor == "static":
+            from ..control import build_level_session
+            return build_level_session(spec, session_id, self.config,
+                                       spec.max_quality_level)
+        return spec.build_session(session_id, self.config)
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self.connections_total += 1
+        metric_inc("server.connections")
+        session_id = None
+        host = self._host_thread
+        try:
+            write_message(writer, {
+                "type": "hello", "server": "repro-frame-server",
+                "schema": PROTOCOL_SCHEMA})
+            await writer.drain()
+            try:
+                message = await read_message(reader)
+            except ProtocolError as exc:
+                await self._fail(writer, str(exc))
+                return
+            if message is None:
+                return
+            if message["type"] != "open":
+                await self._fail(
+                    writer, f"expected 'open', got {message['type']!r}")
+                return
+            try:
+                spec = self._resolve_spec(message)
+            except (ProtocolError, KeyError) as exc:
+                await self._fail(writer, str(exc.args[0]))
+                return
+            if host.live_sessions >= self.options.max_sessions:
+                await self._fail(
+                    writer,
+                    f"at capacity ({self.options.max_sessions} sessions)")
+                return
+            self._session_seq += 1
+            session_id = f"{spec.name}#{self._session_seq:04d}"
+            loop = asyncio.get_running_loop()
+            session = await loop.run_in_executor(
+                self._build_pool, self._build_session, spec, session_id)
+
+            queue: asyncio.Queue = asyncio.Queue()
+
+            def sink(payloads, done):
+                """Queue a round's frames (runs on the event loop)."""
+                queue.put_nowait(("frames", payloads, done))
+
+            host.admit(session, sink)
+            write_message(writer, {
+                "type": "opened", "session": session_id,
+                "workload": spec.name, "frames": session.num_frames})
+            await writer.drain()
+            closer = asyncio.ensure_future(
+                self._watch_close(reader, queue))
+            try:
+                await self._stream(writer, queue, session_id)
+            finally:
+                closer.cancel()
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError):
+            pass  # peer vanished; retirement below cleans up
+        finally:
+            if session_id is not None:
+                host.retire(session_id)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _watch_close(self, reader, queue) -> None:
+        """Turn a client ``close`` (or EOF) into a queue sentinel."""
+        try:
+            while True:
+                message = await read_message(reader)
+                if message is None or message["type"] == "close":
+                    queue.put_nowait(("closed", None, True))
+                    return
+                # Any other mid-stream message is a protocol error.
+                queue.put_nowait(("bad", message["type"], True))
+                return
+        except ProtocolError:
+            queue.put_nowait(("bad", "unparseable", True))
+        except asyncio.CancelledError:
+            raise
+
+    async def _stream(self, writer, queue, session_id: str) -> None:
+        """Forward queued frame payloads until done/closed."""
+        delivered = 0
+        while True:
+            kind, payloads, done = await queue.get()
+            if kind == "frames":
+                for payload in payloads:
+                    write_message(writer, payload)
+                delivered += len(payloads)
+                await writer.drain()
+                if done:
+                    write_message(writer, {
+                        "type": "done", "session": session_id,
+                        "frames": delivered})
+                    await writer.drain()
+                    return
+            elif kind == "closed":
+                write_message(writer, {
+                    "type": "closed", "session": session_id,
+                    "frames_delivered": delivered})
+                await writer.drain()
+                return
+            else:  # "bad": protocol violation mid-stream
+                await self._fail(
+                    writer, f"unexpected mid-stream message {payloads!r}")
+                return
+
+    @staticmethod
+    async def _fail(writer, message: str) -> None:
+        write_message(writer, {"type": "error", "message": message})
+        try:
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

@@ -23,6 +23,7 @@ deterministic, serving a cached entry is bit-identical to recomputing it
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -82,8 +83,19 @@ class SharedLRUCache:
     """Bounded LRU keyed by content-addressed tuples/strings.
 
     Bounded both by entry count and (optionally) by total payload bytes;
-    whichever limit is hit first evicts least-recently-used entries.
+    whichever limit is hit first evicts least-recently-used entries.  An
+    entry larger than ``max_bytes`` on its own is refused outright
+    (counted as an insertion followed by an immediate eviction), so the
+    byte bound is a strict invariant rather than a target.
     Values are returned by reference and must be treated as immutable.
+
+    Thread safety: every public operation holds one reentrant lock, and
+    :meth:`get_or_build` is additionally *single-flight* — concurrent
+    callers missing on the same key run ``builder()`` exactly once and
+    share its result.  Both matter because :data:`FIELD_CACHE` and
+    :data:`REFERENCE_CACHE` are hit from the live frame server's worker
+    threads (see :mod:`repro.server`), not just the single-threaded
+    harness.
     """
 
     name: str = "cache"
@@ -98,62 +110,110 @@ class SharedLRUCache:
             raise ValueError("max_bytes must be >= 1 (or None)")
         self._entries: OrderedDict = OrderedDict()
         self._total_bytes = 0
+        # RLock: put() calls _evict() with the lock already held.
+        self._lock = threading.RLock()
+        # key -> Event set when that key's in-flight build completes
+        # (successfully or not); waiters re-check the cache afterwards.
+        self._inflight: dict = {}
 
     # -- core ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def total_bytes(self) -> int:
         """Sum of the sizes of all live entries."""
-        return self._total_bytes
+        with self._lock:
+            return self._total_bytes
 
     def get(self, key, default=None):
         """Lookup; counts a hit or miss and refreshes recency on hit."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            metric_inc(f"cache.{self.name}.misses")
-            return default
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        metric_inc(f"cache.{self.name}.hits")
-        return entry.value
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                metric_inc(f"cache.{self.name}.misses")
+                return default
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            metric_inc(f"cache.{self.name}.hits")
+            return entry.value
 
     def put(self, key, value, size_bytes: int = 0) -> None:
-        """Insert (or refresh) an entry, evicting LRU entries as needed."""
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self._total_bytes -= old.size_bytes
-        self._entries[key] = _Entry(value=value, size_bytes=int(size_bytes))
-        self._total_bytes += int(size_bytes)
-        self.stats.insertions += 1
-        metric_inc(f"cache.{self.name}.insertions")
-        self._evict()
+        """Insert (or refresh) an entry, evicting LRU entries as needed.
+
+        An entry that could never satisfy the byte bound on its own
+        (``size_bytes > max_bytes``) is not retained: keeping it would
+        leave ``total_bytes`` over the bound for as long as the entry
+        stays hot, evicting everything else instead.
+        """
+        size_bytes = int(size_bytes)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._total_bytes -= old.size_bytes
+            self.stats.insertions += 1
+            metric_inc(f"cache.{self.name}.insertions")
+            if self.max_bytes is not None and size_bytes > self.max_bytes:
+                self.stats.evictions += 1
+                metric_inc(f"cache.{self.name}.evictions")
+                metric_inc(f"cache.{self.name}.oversized")
+                return
+            self._entries[key] = _Entry(value=value, size_bytes=size_bytes)
+            self._total_bytes += size_bytes
+            self._evict()
 
     def get_or_build(self, key, builder, size_of=None):
         """Cached ``builder()`` call: the memoisation idiom of ``configs``.
 
-        ``size_of(value)`` (optional) prices the entry for the byte bound.
+        ``size_of(value)`` (optional) prices the entry for the byte
+        bound.  Single-flight under concurrency: if another thread is
+        already building ``key``, this call waits for that build and
+        returns the cached result instead of building again.  If the
+        in-flight build raises, one waiter takes over the build.
         """
-        value = self.get(key, default=_MISSING)
-        if value is not _MISSING:
-            return value
-        value = builder()
-        size = int(size_of(value)) if size_of is not None else 0
-        self.put(key, value, size_bytes=size)
-        return value
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    metric_inc(f"cache.{self.name}.hits")
+                    return entry.value
+                waiter = self._inflight.get(key)
+                if waiter is None:
+                    self._inflight[key] = done = threading.Event()
+                    self.stats.misses += 1
+                    metric_inc(f"cache.{self.name}.misses")
+            if waiter is not None:
+                waiter.wait()
+                continue  # builder finished (or failed); re-check
+            try:
+                value = builder()
+                size = int(size_of(value)) if size_of is not None else 0
+                self.put(key, value, size_bytes=size)
+                return value
+            finally:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                done.set()
 
     def clear(self) -> None:
         """Drop every entry (counters keep their history)."""
-        self._entries.clear()
-        self._total_bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._total_bytes = 0
 
     def _evict(self) -> None:
+        # Callers hold self._lock.  Evicting down to a single entry is
+        # enough for the byte bound: put() refuses entries larger than
+        # max_bytes, so the newest entry always fits on its own.
         while (len(self._entries) > self.max_entries
                or (self.max_bytes is not None
                    and self._total_bytes > self.max_bytes
@@ -173,16 +233,18 @@ class SharedLRUCache:
         before the snapshot — callers labelling the report per-run should
         say so).
         """
-        stats = self.stats.since(since) if since is not None else self.stats
-        return {
-            "hits": stats.hits,
-            "misses": stats.misses,
-            "insertions": stats.insertions,
-            "evictions": stats.evictions,
-            "hit_rate": stats.hit_rate,
-            "entries": len(self._entries),
-            "bytes": self._total_bytes,
-        }
+        with self._lock:
+            stats = (self.stats.since(since) if since is not None
+                     else self.stats)
+            return {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "insertions": stats.insertions,
+                "evictions": stats.evictions,
+                "hit_rate": stats.hit_rate,
+                "entries": len(self._entries),
+                "bytes": self._total_bytes,
+            }
 
 
 class _Missing:

@@ -211,6 +211,16 @@ class TestGovernorCli:
         assert main(["frontier", "--fast", "--sessions", "4"]) == 2
         assert "serve-only" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("argv", [
+        ["serve", "--fast", "--host", "127.0.0.1"],
+        ["serve", "--fast", "--port", "7070"],
+        ["cluster", "--fast", "--time-scale", "0.5"],
+        ["frontier", "--fast", "--rates", "1,2,3", "--time-scale", "2"],
+    ], ids=["serve-host", "serve-port", "cluster-scale", "frontier-scale"])
+    def test_virtual_commands_reject_realserve_flags(self, capsys, argv):
+        assert main(argv) == 2
+        assert "realserve-only" in capsys.readouterr().err
+
     def test_governed_serve_reports_tier_state(self, capsys, tmp_path):
         rc = main(["serve", "--fast", "--frames", "3",
                    "--workload", "vr-lego:2", "--governor", "static",

@@ -1,0 +1,33 @@
+"""Elapsed-time measurements must come from the monotonic clock.
+
+``time.time()`` is wall-clock and steps under NTP adjustments, so an
+elapsed measured across a step can come out negative or wildly wrong —
+and it ends up in ``wall_time_s`` of every BENCH artifact.  All
+elapsed-time math in the harness uses ``time.perf_counter()``; this
+scan keeps a stray ``time.time()`` from creeping back in.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro.harness.cli
+import repro.harness.runner
+import repro.server.loadgen
+import repro.server.server
+
+
+@pytest.mark.parametrize("module", [
+    repro.harness.cli,
+    repro.harness.runner,
+    repro.server.loadgen,
+    repro.server.server,
+], ids=lambda m: m.__name__)
+def test_no_wall_clock_elapsed_measurements(module):
+    source = inspect.getsource(module)
+    assert "time.time()" not in source, (
+        f"{module.__name__} measures elapsed time with the steppable "
+        "wall clock; use time.perf_counter()")
+    assert "time.perf_counter()" in source

@@ -120,3 +120,52 @@ class TestRegistry:
             raise AssertionError(f"non-strict constant {token!r}")
         back = json.loads(text, parse_constant=reject)
         assert back["histograms"]["lat"]["p99.9"] == 1e9
+
+
+class TestHistogramNonFinite:
+    """Non-finite observations must be dropped, not folded in.
+
+    Pre-fix, ``observe(nan)`` poisoned ``min_value``/``max_value`` (and
+    NaN's undefined ordering under ``bisect_left`` put it in an
+    arbitrary bucket), making the strict-JSON (``allow_nan=False``)
+    artifact write fail at the end of an otherwise-healthy run.
+    """
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_dropped_and_counted(self, bad):
+        histogram = Histogram("lat")
+        histogram.observe(0.01)
+        histogram.observe(bad)
+        assert histogram.count == 1
+        assert histogram.dropped == 1
+        assert histogram.mean == pytest.approx(0.01)
+        assert histogram.min_value == histogram.max_value == 0.01
+
+    def test_snapshot_stays_strict_json_after_nan(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 0.02)
+        registry.observe("lat", math.nan)
+        registry.observe("lat", math.inf)
+        text = safe_json_dumps(registry.snapshot())
+
+        def reject(token):
+            raise AssertionError(f"non-strict constant {token!r}")
+
+        back = json.loads(text, parse_constant=reject)
+        row = back["histograms"]["lat"]
+        assert row["count"] == 1
+        assert row["dropped"] == 2
+        assert all(math.isfinite(row[key]) for key, _ in QUANTILES)
+
+    def test_dropped_key_absent_when_clean(self):
+        histogram = Histogram("lat")
+        histogram.observe(0.01)
+        assert "dropped" not in histogram.snapshot()
+
+    def test_only_nan_observations_snapshot_as_empty(self):
+        histogram = Histogram("lat")
+        histogram.observe(math.nan)
+        row = histogram.snapshot()
+        assert row["count"] == 0
+        assert row["dropped"] == 1
+        assert row["buckets"] == {}

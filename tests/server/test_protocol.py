@@ -1,0 +1,97 @@
+"""Wire-level protocol semantics: framing, limits, malformed input."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server import read_message, write_message
+from repro.server.protocol import (
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    encode_message,
+)
+
+
+async def _reader_with(data: bytes) -> asyncio.StreamReader:
+    # Created inside the running loop: StreamReader binds the current
+    # event loop at construction time.
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def _read(data: bytes):
+    async def scenario():
+        return await read_message(await _reader_with(data))
+
+    return asyncio.run(scenario())
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"type": "frame", "index": 3, "digest": "ab", "q": 0.5}
+        assert _read(encode_message(message)) == message
+
+    def test_encode_is_one_line(self):
+        wire = encode_message({"type": "open", "workload": "vr-lego"})
+        assert wire.endswith(b"\n")
+        assert wire.count(b"\n") == 1
+
+    def test_encode_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            encode_message({"type": "frame", "queue_s": float("nan")})
+
+    def test_multiple_messages_stream_in_order(self):
+        async def scenario():
+            reader = await _reader_with(
+                encode_message({"type": "a"}) + encode_message({"type": "b"}))
+            first = await read_message(reader)
+            second = await read_message(reader)
+            third = await read_message(reader)
+            return first, second, third
+
+        first, second, third = asyncio.run(scenario())
+        assert (first["type"], second["type"]) == ("a", "b")
+        assert third is None  # EOF after the last line
+
+    def test_writer_side_matches_reader_side(self):
+        class FakeWriter:
+            def __init__(self):
+                self.chunks = []
+
+            def write(self, data):
+                self.chunks.append(data)
+
+        writer = FakeWriter()
+        write_message(writer, {"type": "done", "frames": 2})
+        assert json.loads(b"".join(writer.chunks)) == {"type": "done",
+                                                       "frames": 2}
+
+
+class TestRejection:
+    def test_eof_returns_none(self):
+        assert _read(b"") is None
+
+    def test_bad_json_raises(self):
+        with pytest.raises(ProtocolError, match="bad JSON"):
+            _read(b"{nope\n")
+
+    def test_non_object_raises(self):
+        with pytest.raises(ProtocolError, match="string 'type'"):
+            _read(b"[1, 2]\n")
+
+    def test_missing_type_raises(self):
+        with pytest.raises(ProtocolError, match="string 'type'"):
+            _read(b'{"workload": "vr-lego"}\n')
+
+    def test_oversized_line_raises(self):
+        # Longer than any StreamReader buffer limit or our own bound —
+        # both paths must surface as a ProtocolError, never a bare
+        # ValueError crashing the connection handler.
+        line = b'{"type": "' + b"x" * MAX_MESSAGE_BYTES + b'"}\n'
+        with pytest.raises(ProtocolError, match="exceeds"):
+            _read(line)

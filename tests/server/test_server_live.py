@@ -1,0 +1,218 @@
+"""Live FrameServer over real sockets: parity, protocol, teardown.
+
+The headline property: frames served to concurrent TCP clients are
+bit-identical to solo rendering (digest-for-digest), because every
+connection feeds the same batched engine and shared caches as the
+virtual-clock paths.  This is also the test that fails against a
+pre-fix (unlocked) ``SharedLRUCache``: concurrent session builds race
+on ``FIELD_CACHE`` from the server's worker threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.engine import MultiSessionEngine
+from repro.harness.configs import FAST
+from repro.server import (
+    FrameServer,
+    ServerOptions,
+    frame_digest,
+    read_message,
+    write_message,
+)
+from repro.workloads import get_workload
+
+
+async def _client(port: int, workload: str, frames=None, seed=None,
+                  close_after=None) -> dict:
+    """One scripted protocol conversation; returns everything received."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    result = {"frames": [], "final": None}
+    try:
+        result["hello"] = await read_message(reader)
+        message = {"type": "open", "workload": workload}
+        if frames is not None:
+            message["frames"] = frames
+        if seed is not None:
+            message["seed"] = seed
+        write_message(writer, message)
+        await writer.drain()
+        result["opened"] = await read_message(reader)
+        if result["opened"] is None or result["opened"]["type"] != "opened":
+            result["final"] = result["opened"]
+            return result
+        while True:
+            message = await read_message(reader)
+            if message is None or message["type"] != "frame":
+                result["final"] = message
+                return result
+            result["frames"].append(message)
+            if (close_after is not None
+                    and len(result["frames"]) >= close_after):
+                write_message(writer, {"type": "close"})
+                await writer.drain()
+                close_after = None
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def _with_server(coro_factory, options: ServerOptions | None = None):
+    """Run one async scenario against a fresh live server."""
+    async def scenario():
+        server = FrameServer(config=FAST,
+                             options=options or ServerOptions())
+        await server.start()
+        try:
+            return await coro_factory(server)
+        finally:
+            await server.stop()
+
+    return asyncio.run(scenario())
+
+
+def _solo_digests(workload: str, frames: int, seed=None) -> list:
+    """Digest sequence of the same session rendered the classic way."""
+    spec = get_workload(workload).with_overrides(frames=frames,
+                                                seed_offset=seed)
+    session = spec.build_session("solo", FAST)
+    MultiSessionEngine([session]).run()
+    return [frame_digest(record.frame)
+            for record in session.result.records]
+
+
+class TestSingleClient:
+    def test_full_stream_matches_solo_render(self):
+        result = _with_server(
+            lambda server: _client(server.port, "vr-lego", frames=3))
+        assert result["hello"]["type"] == "hello"
+        assert result["opened"]["workload"] == "vr-lego"
+        assert result["opened"]["frames"] == 3
+        assert result["final"]["type"] == "done"
+        assert result["final"]["frames"] == 3
+        assert [f["index"] for f in result["frames"]] == [0, 1, 2]
+        assert ([f["digest"] for f in result["frames"]]
+                == _solo_digests("vr-lego", 3))
+
+    def test_frames_carry_wall_clock_timestamps(self):
+        result = _with_server(
+            lambda server: _client(server.port, "vr-lego", frames=2))
+        for frame in result["frames"]:
+            assert frame["queue_s"] >= 0.0
+            assert frame["render_s"] > 0.0
+            assert frame["t_server_s"] > 0.0
+
+    def test_seed_override_changes_the_trajectory(self):
+        # walk-materials samples its trajectory from the seed, so the
+        # override must reach the server-side session build.
+        plain = _with_server(
+            lambda server: _client(server.port, "walk-materials",
+                                   frames=2))
+        seeded = _with_server(
+            lambda server: _client(server.port, "walk-materials",
+                                   frames=2, seed=9))
+        assert ([f["digest"] for f in seeded["frames"]]
+                == _solo_digests("walk-materials", 2, seed=9))
+        assert ([f["digest"] for f in seeded["frames"]]
+                != [f["digest"] for f in plain["frames"]])
+
+
+class TestConcurrentClients:
+    def test_concurrent_streams_bit_identical_to_solo(self):
+        expected = {name: _solo_digests(name, 2)
+                    for name in ("vr-lego", "dolly-chair")}
+
+        async def scenario(server):
+            return await asyncio.gather(*[
+                _client(server.port, name, frames=2)
+                for name in ("vr-lego", "dolly-chair",
+                             "vr-lego", "dolly-chair", "vr-lego")])
+
+        results = _with_server(scenario)
+        assert all(r["final"]["type"] == "done" for r in results)
+        for result in results:
+            workload = result["opened"]["workload"]
+            assert ([f["digest"] for f in result["frames"]]
+                    == expected[workload])
+
+    def test_sessions_get_unique_ids(self):
+        async def scenario(server):
+            return await asyncio.gather(*[
+                _client(server.port, "vr-lego", frames=1)
+                for _ in range(3)])
+
+        results = _with_server(scenario)
+        ids = [r["opened"]["session"] for r in results]
+        assert len(set(ids)) == 3
+
+
+class TestClose:
+    def test_graceful_close_mid_stream(self):
+        async def scenario(server):
+            early = await _client(server.port, "vr-lego", frames=8,
+                                  close_after=1)
+            # The server must stay fully serviceable afterwards.
+            follow_up = await _client(server.port, "vr-lego", frames=2)
+            return early, follow_up
+
+        early, follow_up = _with_server(scenario)
+        assert early["final"]["type"] == "closed"
+        assert early["final"]["frames_delivered"] >= 1
+        assert len(early["frames"]) < 8
+        assert follow_up["final"]["type"] == "done"
+        assert ([f["digest"] for f in follow_up["frames"]]
+                == _solo_digests("vr-lego", 2))
+
+    def test_client_vanishing_is_tolerated(self):
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            await read_message(reader)
+            write_message(writer, {"type": "open", "workload": "vr-lego",
+                                   "frames": 8})
+            await writer.drain()
+            await read_message(reader)  # opened
+            writer.close()  # hang up without a close message
+            await writer.wait_closed()
+            return await _client(server.port, "vr-lego", frames=2)
+
+        follow_up = _with_server(scenario)
+        assert follow_up["final"]["type"] == "done"
+
+
+class TestRejection:
+    @pytest.mark.parametrize("open_message, match", [
+        ({"type": "open", "workload": "no-such-workload"}, "unknown"),
+        ({"type": "open"}, "workload"),
+        ({"type": "open", "workload": "vr-lego", "frames": 0}, "frames"),
+        ({"type": "frame"}, "expected 'open'"),
+    ])
+    def test_bad_open_gets_error_message(self, open_message, match):
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            try:
+                await read_message(reader)
+                write_message(writer, open_message)
+                await writer.drain()
+                return await read_message(reader)
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        reply = _with_server(scenario)
+        assert reply["type"] == "error"
+        assert match in reply["message"]
+
+    def test_port_is_ephemeral_and_reported(self):
+        async def scenario(server):
+            return server.port
+
+        port = _with_server(scenario)
+        assert 1024 <= port <= 65535

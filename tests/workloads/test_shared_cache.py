@@ -34,9 +34,25 @@ class TestSharedLRUCache:
         cache.put("b", 2, size_bytes=60)
         assert "a" not in cache
         assert cache.total_bytes == 60
-        # A single oversized entry is kept (never evict down to nothing).
+
+    def test_oversized_entry_is_refused(self):
+        # Pre-fix, an entry larger than max_bytes was retained forever:
+        # it could never be evicted (the bound never evicts the newest
+        # entry), so total_bytes sat above max_bytes while every other
+        # entry got evicted around it.  Now the byte bound is a strict
+        # invariant: an entry that cannot fit on its own is refused.
+        cache = SharedLRUCache(name="t", max_entries=10, max_bytes=100)
+        cache.put("b", 2, size_bytes=60)
         cache.put("c", 3, size_bytes=500)
-        assert "c" in cache and len(cache) == 1
+        assert "c" not in cache
+        assert "b" in cache  # the refusal does not evict smaller entries
+        assert cache.total_bytes == 60
+        assert cache.stats.insertions == 2
+        assert cache.stats.evictions == 1  # counted as insert-then-evict
+        # Refreshing an existing key with an oversized value drops it.
+        cache.put("b", 4, size_bytes=500)
+        assert "b" not in cache
+        assert cache.total_bytes == 0
 
     def test_put_refreshes_existing_key(self):
         cache = SharedLRUCache(name="t", max_entries=2)
