@@ -34,7 +34,9 @@ from .placement import (
     CacheAffinityPlacement,
     LeastLoadedPlacement,
     RoundRobinPlacement,
+    ShardAffinityPlacement,
     make_placement,
+    rendezvous_score,
 )
 from .simulator import ClusterReport, ClusterSimulator, simulate_cluster
 from .worker import PlacedSession, Worker
@@ -59,7 +61,9 @@ __all__ = [
     "CacheAffinityPlacement",
     "LeastLoadedPlacement",
     "RoundRobinPlacement",
+    "ShardAffinityPlacement",
     "make_placement",
+    "rendezvous_score",
     "ClusterReport",
     "ClusterSimulator",
     "simulate_cluster",

@@ -18,8 +18,20 @@ from __future__ import annotations
 
 import hashlib
 
-__all__ = ["RoundRobinPlacement", "LeastLoadedPlacement",
-           "CacheAffinityPlacement", "PLACEMENTS", "make_placement"]
+__all__ = ["rendezvous_score", "RoundRobinPlacement",
+           "LeastLoadedPlacement", "CacheAffinityPlacement",
+           "ShardAffinityPlacement", "PLACEMENTS", "make_placement"]
+
+
+def rendezvous_score(key: str, member: str) -> str:
+    """Highest-random-weight score of ``member`` for ``key``.
+
+    The single scoring function behind both :class:`CacheAffinityPlacement`
+    and the sharded field tier's :class:`~repro.distribution.ShardMap`, so
+    "the worker a session is affine to" and "the primary owner of its
+    baked field" always agree.
+    """
+    return hashlib.sha1(f"{key}|{member}".encode()).hexdigest()
 
 
 class RoundRobinPlacement:
@@ -60,7 +72,7 @@ class CacheAffinityPlacement:
 
     @staticmethod
     def _score(cache_key: str, worker_id: str) -> str:
-        return hashlib.sha1(f"{cache_key}|{worker_id}".encode()).hexdigest()
+        return rendezvous_score(cache_key, worker_id)
 
     def choose(self, cache_key: str | None, workers: list):
         """Rendezvous-hash the content key onto the live fleet."""
@@ -69,10 +81,47 @@ class CacheAffinityPlacement:
         return max(workers, key=lambda w: self._score(cache_key, w.worker_id))
 
 
+class ShardAffinityPlacement:
+    """Load-first placement that breaks ties toward field holders.
+
+    When a :class:`~repro.distribution.ShardedFieldStore` is attached
+    (``self.store``, wired by the cluster simulator), the policy picks
+    the least-loaded eligible worker, preferring — at equal load — one
+    whose caches already hold the session's baked field (a free local
+    hit instead of a shard transfer).  Load stays primary because the
+    shard tier makes misses cheap: once any worker has baked a field,
+    every other worker can transfer it in milliseconds, so chasing
+    residency at the cost of queueing behind a busy holder is a bad
+    trade.  Cold keys are also load-balanced — a bake seeds the
+    rendezvous owner set wherever it runs.
+
+    Without a store it degrades to :class:`CacheAffinityPlacement`'s
+    rendezvous choice, so the policy is safe to select on un-sharded
+    runs.
+    """
+
+    name = "shard_affinity"
+
+    def __init__(self):
+        self.store = None
+
+    def choose(self, cache_key: str | None, workers: list):
+        """Least-loaded eligible worker, holders first on ties."""
+        if cache_key is None:
+            return LeastLoadedPlacement().choose(cache_key, workers)
+        if self.store is not None:
+            holder_ids = self.store.holders(cache_key)
+            return min(workers,
+                       key=lambda w: (w.load, w.worker_id not in holder_ids,
+                                      w.worker_id))
+        return max(workers,
+                   key=lambda w: rendezvous_score(cache_key, w.worker_id))
+
+
 PLACEMENTS = {
     policy.name: policy
     for policy in (RoundRobinPlacement, LeastLoadedPlacement,
-                   CacheAffinityPlacement)
+                   CacheAffinityPlacement, ShardAffinityPlacement)
 }
 
 

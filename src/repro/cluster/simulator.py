@@ -81,10 +81,15 @@ class ClusterReport:
     mean_quality_level: float = 0.0
     quality_by_level: dict = field(default_factory=dict)
     governor_events: list = field(default_factory=list)
+    # Sharded-field-tier accounting (repro.distribution): flat scalars —
+    # catalog size, per-tier hit counters, hierarchy hit rate, and the
+    # TTFF bake/transfer/queue split.  Empty on un-sharded runs so the
+    # report (and its goldens) keeps its exact legacy shape.
+    distribution: dict = field(default_factory=dict)
 
     def summary(self) -> dict:
         """Flat aggregate row for tables and ``BENCH_cluster.json``."""
-        return {
+        out = {
             "arrivals": self.arrivals,
             "placement": self.placement,
             "seed": self.seed,
@@ -124,6 +129,9 @@ class ClusterReport:
             "tier_transitions": self.tier_transitions,
             "mean_quality_level": self.mean_quality_level,
         }
+        if self.distribution:
+            out.update(self.distribution)
+        return out
 
 
 class ClusterSimulator:
@@ -137,10 +145,15 @@ class ClusterSimulator:
                  worker_cache_entries: int = 256,
                  worker_cache_bytes: int = 64 << 20,
                  governor=None, backend: str | None = None,
-                 engine_workers: int | None = None):
+                 engine_workers: int | None = None, field_store=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.config = config
+        # Optional ShardedFieldStore (repro.distribution): workers pay
+        # tiered field-acquisition costs at admission, placement policies
+        # with a ``store`` attribute see shard residency, and the report
+        # gains the ``distribution`` block.
+        self.field_store = field_store
         # Kernel backend every spawned Worker renders with (results are
         # backend-independent for the exact backends).
         self.backend = backend
@@ -149,6 +162,8 @@ class ClusterSimulator:
         self.seed = seed  # offsets spec trajectory seeds (with_overrides)
         self.placement = (make_placement(placement)
                           if isinstance(placement, str) else placement)
+        if self.field_store is not None and hasattr(self.placement, "store"):
+            self.placement.store = self.field_store
         self.admission = AdmissionController(queue_limit)
         self.autoscaler = autoscaler
         # Optional ClusterGovernor: pressure-scaled admission levels,
@@ -181,9 +196,12 @@ class ClusterSimulator:
                         cache_entries=self._worker_cache_entries,
                         cache_bytes=self._worker_cache_bytes,
                         use_cache=self.use_cache, backend=self.backend,
-                        engine_workers=self.engine_workers)
+                        engine_workers=self.engine_workers,
+                        field_store=self.field_store)
         self._worker_seq += 1
         self.workers.append(worker)
+        if self.field_store is not None:
+            self.field_store.register_worker(worker.worker_id)
         return worker
 
     def _live(self) -> list:
@@ -225,6 +243,10 @@ class ClusterSimulator:
                                       {"ready_s": payload})
         else:
             payload.retire(now_s)
+            if self.field_store is not None:
+                # Deterministic rebalance: the retiree's replicas vanish
+                # and surviving owners take over lazily on next miss.
+                self.field_store.remove_worker(payload.worker_id)
             if self._metrics is not None:
                 self._metrics.inc("cluster.scale_downs")
                 self._metrics.set("cluster.workers", len(self._live()))
@@ -288,7 +310,21 @@ class ClusterSimulator:
                 self._tracer.thread(pid, session_id),
                 args={"session": session_id, "level": level})
         with self._worker_scope(worker, now_s):
-            worker.admit(session_id, spec, now_s, level=level)
+            placed = worker.admit(session_id, spec, now_s, level=level)
+        if placed.fetch_kind == "bake":
+            # A cold bake leaves the worker busy with no frame in
+            # flight; without this wake nothing would re-poll it once
+            # the heap drains.  (Transfers keep the worker free, so the
+            # ordinary dispatch below schedules their wake.)
+            self._push(worker.busy_until_s, _P_WAKE, "wake", worker)
+            if self._tracer is not None:
+                self._control_instant(
+                    "field.bake", "field", now_s, "field",
+                    {"session": session_id, "bake_s": placed.fetch_s})
+        elif placed.fetch_s > 0.0 and self._tracer is not None:
+            self._control_instant(
+                "field.transfer", "field", now_s, "field",
+                {"session": session_id, "transfer_s": placed.fetch_s})
         self.admission.record_admit()
         if self.governor is not None:
             self.governor.register(session_id, spec, level)
@@ -456,6 +492,29 @@ class ClusterSimulator:
                 buckets[level] = buckets.get(level, 0) + 1
                 level_frames += 1
                 level_sum += level
+        distribution: dict = {}
+        if self.field_store is not None:
+            store = self.field_store
+            served = [s for s in placed_sessions
+                      if s.first_frame_s is not None]
+            # TTFF decomposition: the acquisition cost each session paid
+            # (bake or transfer) vs everything else (queueing + first
+            # frame's own service time).
+            bake = [s.fetch_s if s.fetch_kind == "bake" else 0.0
+                    for s in served]
+            transfer = [s.fetch_s if s.fetch_kind == "shard" else 0.0
+                        for s in served]
+            queue = [(s.first_frame_s - s.arrival_s) - s.fetch_s
+                     for s in served]
+            distribution = {
+                "catalog": store.catalog_size,
+                "zipf_s": (store.zipf_s
+                           if store.zipf_s is not None else 0.0),
+                **store.stats(),
+                "ttff_bake_mean_ms": _mean(bake) * 1e3,
+                "ttff_transfer_mean_ms": _mean(transfer) * 1e3,
+                "ttff_queue_mean_ms": _mean(queue) * 1e3,
+            }
         return ClusterReport(
             placement=self.placement.name,
             arrivals=label,
@@ -498,6 +557,7 @@ class ClusterSimulator:
                                 if level_frames else 0.0),
             quality_by_level=quality_by_level,
             governor_events=list(self.governor_events),
+            distribution=distribution,
         )
 
 
@@ -511,6 +571,10 @@ def simulate_cluster(mix, config, arrivals: str = "poisson",
                      governor: str = "off", slo_fps: float | None = None,
                      trace=None, backend: str | None = None,
                      engine_workers: int | None = None,
+                     catalog: int | None = None,
+                     zipf: float | None = None,
+                     replication: int | None = None,
+                     field_store=None,
                      **arrival_params) -> ClusterReport:
     """One-call cluster run: generate arrivals, simulate, report.
 
@@ -522,10 +586,26 @@ def simulate_cluster(mix, config, arrivals: str = "poisson",
     workload's SLO up front (:func:`repro.workloads.apply_slo`), so the
     governor reads exactly one SLO source — the specs.  Same arguments,
     same seed, same report — bit for bit.
+
+    ``catalog`` switches on the sharded field tier: the mix expands into
+    that many content-distinct variants under a ``zipf``-skewed
+    popularity law (seeded from ``seed``), served through a
+    :class:`~repro.distribution.ShardedFieldStore` with ``replication``
+    replicas per baked field.  A pre-built ``field_store`` (with a
+    matching pre-expanded mix) can be passed instead — the experiment
+    runner does this so it sees the variant specs too.
     """
     if slo_fps is not None:
         from ..workloads import apply_slo
         mix = apply_slo(mix, slo_fps)
+    if catalog is not None:
+        from ..distribution import expand_field_serving
+        mix, field_store = expand_field_serving(
+            mix, config, catalog, zipf=zipf, replication=replication,
+            seed=seed)
+    elif zipf is not None or replication is not None:
+        raise ValueError("zipf/replication require catalog "
+                         "(the sharded field tier)")
     if arrivals == "replay":
         arrival_params["trace"] = trace
     schedule = make_arrivals(arrivals, mix, rate_hz=rate_hz,
@@ -543,5 +623,6 @@ def simulate_cluster(mix, config, arrivals: str = "poisson",
                                  use_cache=use_cache,
                                  governor=cluster_governor,
                                  backend=backend,
-                                 engine_workers=engine_workers)
+                                 engine_workers=engine_workers,
+                                 field_store=field_store)
     return simulator.run(schedule, label=arrivals)

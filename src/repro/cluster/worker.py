@@ -47,6 +47,11 @@ class PlacedSession:
     frame_levels: list = field(default_factory=list)
     frame_refs: list = field(default_factory=list)
     transitions: int = 0
+    # Which cache tier served this session's baked field and what it
+    # cost on the virtual clock ("local"/0.0 when no field store is
+    # attached) — feeds the report's TTFF bake/transfer/queue split.
+    fetch_kind: str = "local"
+    fetch_s: float = 0.0
 
     @property
     def done(self) -> bool:
@@ -69,7 +74,7 @@ class Worker:
                  started_s: float = 0.0, index: int = 0,
                  cache_entries: int = 256, cache_bytes: int = 64 << 20,
                  use_cache: bool = True, backend: str | None = None,
-                 engine_workers: int | None = None):
+                 engine_workers: int | None = None, field_store=None):
         self.worker_id = str(worker_id)
         self.config = config
         # Kernel backend for this worker's render engine (see
@@ -84,6 +89,10 @@ class Worker:
             name=f"{self.worker_id}/references",
             max_entries=cache_entries, max_bytes=cache_bytes)
         self.use_cache = bool(use_cache)
+        # Optional ShardedFieldStore (repro.distribution): admission then
+        # pays tiered field-acquisition costs (local / shard transfer /
+        # cold bake) before the first frame can be served.
+        self.field_store = field_store
         self.started_s = float(started_s)
         self.index = int(index)  # spawn order (worker ids are for display)
         self.retired_s: float | None = None
@@ -145,7 +154,17 @@ class Worker:
         ``level`` is the quality-ladder rung the governor admits the
         session at (0 — the default — is bit-identical to ungoverned
         admission).
+
+        With a field store attached, admission first acquires the spec's
+        baked field through the cache hierarchy: a local hit is free, a
+        shard-tier transfer delays only this session's first frame, and a
+        cold bake additionally *occupies the worker* for the bake — the
+        capacity cost that makes duplicated bakes hurt fleet-wide.
         """
+        fetch_kind, fetch_s = "local", 0.0
+        if self.field_store is not None:
+            fetch_kind, fetch_s = self.field_store.acquire(
+                self.worker_id, spec, now_s)
         engine_session = self._render(session_id, spec, level)
         costs = session_frame_costs(engine_session.result, self.soc,
                                     spec.variant)
@@ -159,7 +178,20 @@ class Worker:
             last_completion_s=float(now_s),
             level=int(level), frame_levels=[int(level)] * len(costs),
             frame_refs=[r.new_reference
-                        for r in engine_session.result.records])
+                        for r in engine_session.result.records],
+            fetch_kind=fetch_kind, fetch_s=float(fetch_s))
+        if fetch_kind == "bake":
+            # Baking consumes this worker's capacity (it cannot serve
+            # frames meanwhile); the session's frames unlock when the
+            # bake lands.  The simulator schedules a wake at that time.
+            ready = max(self.busy_until_s, float(now_s)) + fetch_s
+            self.busy_s += fetch_s
+            self.busy_until_s = ready
+            placed.last_completion_s = ready
+        elif fetch_s > 0.0:
+            # A transfer delays only this session's first frame; the
+            # worker stays free to serve other residents.
+            placed.last_completion_s = float(now_s) + fetch_s
         if placed.done:  # zero-frame sequence: nothing to serve
             self.completed.append(placed)
         else:
@@ -270,7 +302,7 @@ class Worker:
         cache = self.reference_cache.stats
         end_s = self.retired_s if self.retired_s is not None else makespan_s
         lifetime_s = max(end_s - self.started_s, 0.0)
-        return {
+        row = {
             "worker": self.worker_id,
             "sessions": self.sessions_admitted,
             "frames": self.frames_served,
@@ -283,6 +315,11 @@ class Worker:
             "ref_hit_rate": cache.hit_rate,
             "retired": not self.live,
         }
+        if self.field_store is not None:
+            # Tier counters appear only on sharded runs, so un-sharded
+            # reports (and their goldens) keep their exact shape.
+            row.update(self.field_store.worker_stats(self.worker_id))
+        return row
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "live" if self.live else "retired"

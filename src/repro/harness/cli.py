@@ -225,7 +225,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="placement policy, also honoured by "
                               "'frontier' (default least_loaded; "
                               "cache_affinity co-locates sessions sharing "
-                              "content on one worker's reference cache)")
+                              "content on one worker's reference cache; "
+                              "shard_affinity breaks load ties toward "
+                              "workers already holding the field — pair "
+                              "with --catalog)")
     cluster.add_argument("--queue-limit", type=int, default=None,
                          help="max resident sessions per worker before "
                               "admission rejects (default 4)")
@@ -244,6 +247,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="provisioning delay in virtual seconds "
                               "before a scaled-up worker takes sessions "
                               "(default 1.0; requires --autoscale)")
+    cluster.add_argument("--catalog", type=int, default=None, metavar="N",
+                         help="expand the workload mix into N "
+                              "content-distinct scene variants served "
+                              "through the sharded field tier (see "
+                              "docs/sharded-serving.md)")
+    cluster.add_argument("--zipf", type=float, default=None, metavar="S",
+                         help="zipfian popularity skew over the catalog "
+                              "(default 1.1; 0 = uniform; requires "
+                              "--catalog)")
+    cluster.add_argument("--replication", type=int, default=None,
+                         metavar="R",
+                         help="replicas per baked field in the shard "
+                              "tier (default 2; 0 disables the tier — "
+                              "per-worker LRU only; requires --catalog)")
     realserve = parser.add_argument_group(
         "realserve options",
         "used by the 'serve-live', 'loadgen', and 'reconcile' commands "

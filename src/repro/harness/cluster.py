@@ -31,7 +31,10 @@ def run_cluster(config: ExperimentConfig = DEFAULT, mix=None,
                 max_workers: int | None = None,
                 scale_up_latency_s: float = 1.0,
                 governor: str = "off",
-                slo_fps: float | None = None) -> tuple:
+                slo_fps: float | None = None,
+                catalog: int | None = None,
+                zipf: float | None = None,
+                replication: int | None = None) -> tuple:
     """Simulate open-loop cluster serving; returns (per-worker rows, summary).
 
     ``mix`` is any serve mix (``None`` uses :data:`DEFAULT_CLUSTER_MIX`);
@@ -42,8 +45,12 @@ def run_cluster(config: ExperimentConfig = DEFAULT, mix=None,
     initial fleet) with ``scale_up_latency_s`` of provisioning delay.
     ``governor`` attaches the SLO quality governor (``static`` or
     ``adaptive``; ``slo_fps`` overrides every spec's SLO), adding probe
-    mean-PSNR quality accounting to the summary.  Runs are deterministic
-    per seed.
+    mean-PSNR quality accounting to the summary.  ``catalog`` switches
+    on the sharded field tier: the mix expands into that many
+    content-distinct variants under a ``zipf``-skewed popularity law,
+    served through a replicated shard map (``replication`` replicas per
+    baked field; see :mod:`repro.distribution`).  Runs are
+    deterministic per seed.
     """
     from .runner import execute_cell  # deferred: runner builds on this module
     cell = RunConfig(
@@ -54,7 +61,8 @@ def run_cluster(config: ExperimentConfig = DEFAULT, mix=None,
         frames=frames, seed=seed, arrival_trace=trace, use_cache=use_cache,
         autoscale=autoscale, min_workers=min_workers,
         max_workers=max_workers, scale_up_latency_s=scale_up_latency_s,
-        governor=governor, slo_fps=slo_fps)
+        governor=governor, slo_fps=slo_fps,
+        catalog=catalog, zipf=zipf, replication=replication)
     result = execute_cell(
         cell, config=config,
         mix=mix if mix is not None and not isinstance(mix, str) else None)

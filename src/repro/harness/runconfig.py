@@ -100,6 +100,11 @@ class RunConfig:
     min_workers: int | None = None
     max_workers: int | None = None
     scale_up_latency_s: float | None = None
+    # Sharded field tier (repro.distribution): catalog switches it on,
+    # zipf shapes the popularity skew, replication sizes the owner sets.
+    catalog: int | None = None
+    zipf: float | None = None
+    replication: int | None = None
 
     # Realserve-only knobs (the live frame server + loadgen; see
     # repro.server): where the server listens, and how much the loadgen
@@ -222,6 +227,9 @@ class RunConfig:
                 ("--min-workers", self.min_workers),
                 ("--max-workers", self.max_workers),
                 ("--scale-up-latency", self.scale_up_latency_s),
+                ("--catalog", self.catalog),
+                ("--zipf", self.zipf),
+                ("--replication", self.replication),
             ) if value is not None]
         if cluster_only:
             raise RunConfigError(
@@ -275,6 +283,9 @@ class RunConfig:
                 ("--min-workers", self.min_workers),
                 ("--max-workers", self.max_workers),
                 ("--scale-up-latency", self.scale_up_latency_s),
+                ("--catalog", self.catalog),
+                ("--zipf", self.zipf),
+                ("--replication", self.replication),
             ) if value is not None]
         if fleet_only:
             raise RunConfigError(
@@ -336,6 +347,17 @@ class RunConfig:
             raise RunConfigError(
                 "--min-workers/--max-workers/--scale-up-latency require "
                 "--autoscale")
+        if self.catalog is None and (self.zipf is not None
+                                     or self.replication is not None):
+            raise RunConfigError(
+                "--zipf/--replication require --catalog (the sharded "
+                "field tier)")
+        if self.catalog is not None and self.catalog < 1:
+            raise RunConfigError("--catalog must be >= 1")
+        if self.zipf is not None and self.zipf < 0:
+            raise RunConfigError("--zipf must be >= 0")
+        if self.replication is not None and self.replication < 0:
+            raise RunConfigError("--replication must be >= 0")
 
 
 def parse_rates(text: str) -> tuple:
@@ -386,6 +408,9 @@ def from_cli_args(command: str, args) -> RunConfig:
             arrival_trace=args.arrival_trace, autoscale=args.autoscale,
             min_workers=args.min_workers, max_workers=args.max_workers,
             scale_up_latency_s=args.scale_up_latency,
+            catalog=getattr(args, "catalog", None),
+            zipf=getattr(args, "zipf", None),
+            replication=getattr(args, "replication", None),
             # Realserve-only flags ride along for the same reason.
             host=getattr(args, "host", None), port=getattr(args, "port", None),
             time_scale=getattr(args, "time_scale", None),
@@ -419,6 +444,12 @@ def from_cli_args(command: str, args) -> RunConfig:
                 "--rate/--arrivals/--arrival-trace/--autoscale options "
                 "do not apply (the sweep fixes poisson arrivals; use "
                 "--rates for the load points)")
+        if (getattr(args, "catalog", None) is not None
+                or getattr(args, "zipf", None) is not None
+                or getattr(args, "replication", None) is not None):
+            raise RunConfigError(
+                "--catalog/--zipf/--replication do not apply to frontier "
+                "(sweep the sharded tier with cli experiment instead)")
     else:
         raise RunConfigError(f"unknown command {command!r}")
     return RunConfig(
@@ -435,6 +466,9 @@ def from_cli_args(command: str, args) -> RunConfig:
         arrival_trace=args.arrival_trace, autoscale=args.autoscale,
         min_workers=args.min_workers, max_workers=args.max_workers,
         scale_up_latency_s=args.scale_up_latency,
+        catalog=getattr(args, "catalog", None),
+        zipf=getattr(args, "zipf", None),
+        replication=getattr(args, "replication", None),
         host=getattr(args, "host", None), port=getattr(args, "port", None),
         time_scale=getattr(args, "time_scale", None),
     ).validate()

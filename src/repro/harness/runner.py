@@ -83,6 +83,20 @@ def _execute_cluster(cell: RunConfig, config, mix, seed: int) -> CellResult:
     raw_mix = mix if mix is not None else (cell.workloads
                                            or DEFAULT_CLUSTER_MIX)
     resolved_mix = apply_slo(raw_mix, cell.slo_fps)
+    mix_label = ",".join(f"{spec.name}:{count}"
+                         for spec, count in resolved_mix)
+    field_store = None
+    if cell.catalog is not None:
+        # Expand here (not inside simulate_cluster) so the resolved mix
+        # the rest of this cell sees — labels, quality accounting — is
+        # the variant mix the simulator actually serves.
+        from ..distribution import expand_field_serving
+        resolved_mix, field_store = expand_field_serving(
+            resolved_mix, config, cell.catalog, zipf=cell.zipf,
+            replication=cell.replication, seed=seed)
+        mix_label += (f" ×{cell.catalog} catalog "
+                      f"(zipf={field_store.zipf_s}, "
+                      f"R={field_store.shard_map.replication})")
     # Unset knobs resolve to the experiment defaults here, in one place.
     rate_hz = 1.0 if cell.rate_hz is None else cell.rate_hz
     duration_s = 10.0 if cell.duration_s is None else cell.duration_s
@@ -117,8 +131,16 @@ def _execute_cluster(cell: RunConfig, config, mix, seed: int) -> CellResult:
         frames=cell.frames, autoscaler=autoscaler,
         use_cache=cell.use_cache, governor=cell.governor,
         slo_fps=cell.slo_fps, trace=cell.arrival_trace,
-        backend=cell.backend, engine_workers=cell.engine_workers)
-    quality = quality_summary(resolved_mix, config, report)
+        backend=cell.backend, engine_workers=cell.engine_workers,
+        field_store=field_store)
+    if cell.catalog is None:
+        quality = quality_summary(resolved_mix, config, report)
+    else:
+        # Probe PSNR renders once per unique cache key — prohibitive
+        # over a catalog of variants, and orthogonal to what the
+        # sharded tier measures; report the ungoverned defaults.
+        quality = {"mean_psnr": 0.0, "min_workload_psnr": 0.0,
+                   "quality_floor_ok": True, "psnr_per_workload": {}}
     economics = frame_economics(report.total_frames, report.total_energy_j,
                                 report.total_busy_s)
     summary = report.summary()
@@ -146,10 +168,18 @@ def _execute_cluster(cell: RunConfig, config, mix, seed: int) -> CellResult:
         "quality_floor_ok": quality["quality_floor_ok"],
         **economics,
     }
+    if cell.catalog is not None:
+        # Sharded-tier columns, only when the tier ran (frontier rows
+        # and un-sharded cells keep their exact legacy shape).
+        row.update({
+            "hierarchy_hit_rate":
+                report.distribution["hierarchy_hit_rate"],
+            "field_bakes": report.distribution["field_bakes"],
+            "ttff_p95_ms": report.ttff_p95_s * 1e3,
+        })
     return CellResult(
         cell=cell, rows=list(report.per_worker), summary=summary, row=row,
-        mix_label=",".join(f"{spec.name}:{count}"
-                           for spec, count in resolved_mix))
+        mix_label=mix_label)
 
 
 def _execute_serve(cell: RunConfig, config, mix, seed: int) -> CellResult:

@@ -93,7 +93,7 @@ async def read_message(reader) -> dict | None:
         raise ProtocolError(f"message exceeds {MAX_MESSAGE_BYTES} bytes")
     try:
         message = json.loads(line)
-    except json.JSONDecodeError as exc:
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise ProtocolError(f"bad JSON line: {exc}") from None
     if not isinstance(message, dict) or not isinstance(
             message.get("type"), str):

@@ -1,0 +1,74 @@
+"""Determinism lock for the zipfian catalog mix.
+
+Same seed ⇒ identical arrival→spec assignment and identical
+``ClusterReport``; different seeds ⇒ different assignment.  Both runs
+happen under deliberately perturbed *global* RNG state, so any
+accidental ``np.random.*``/``random.*`` use inside the distribution
+tier breaks these tests immediately.
+"""
+
+import dataclasses
+import random
+
+import numpy as np
+
+from repro.cluster import make_arrivals, simulate_cluster
+from repro.distribution import expand_field_serving
+from repro.harness.configs import FAST
+
+MIX = "vr-lego:2,dolly-chair"
+
+
+def scramble_global_rng(nonce: int) -> None:
+    """Leave the global RNGs in a nonce-dependent state."""
+    random.seed(nonce)
+    np.random.seed(nonce % (2**31))
+    random.random()
+    np.random.random()
+
+
+def assignment(seed: int):
+    """The arrival→variant assignment a sharded run would serve."""
+    mix, _ = expand_field_serving(MIX, FAST, catalog=24, zipf=1.3,
+                                  replication=2, seed=seed)
+    schedule = make_arrivals("poisson", mix, rate_hz=6.0, duration_s=6.0,
+                             seed=seed)
+    return [(round(a.time_s, 9), a.spec.name) for a in schedule]
+
+
+def run(seed: int):
+    return simulate_cluster(MIX, FAST, arrivals="poisson", rate_hz=5.0,
+                            duration_s=5.0, workers=2, queue_limit=6,
+                            frames=2, seed=seed, catalog=16, zipf=1.2,
+                            placement="shard_affinity", replication=2)
+
+
+class TestSameSeed:
+    def test_identical_assignment_despite_global_rng_noise(self):
+        scramble_global_rng(101)
+        first = assignment(seed=7)
+        scramble_global_rng(202)
+        assert assignment(seed=7) == first
+        assert len(first) > 10  # the lock actually observed arrivals
+
+    def test_identical_cluster_report(self):
+        scramble_global_rng(303)
+        first = run(seed=7)
+        scramble_global_rng(404)
+        second = run(seed=7)
+        assert dataclasses.asdict(first) == dataclasses.asdict(second)
+        assert first.distribution  # the sharded tier was actually on
+
+
+class TestDifferentSeed:
+    def test_different_assignment(self):
+        a = assignment(seed=7)
+        b = assignment(seed=8)
+        # Different catalog seeds rename and re-time everything; the
+        # sequences must not coincide.
+        assert a != b
+        assert [name for _, name in a] != [name for _, name in b]
+
+    def test_different_report(self):
+        assert dataclasses.asdict(run(seed=7)) != dataclasses.asdict(
+            run(seed=8))
